@@ -1,0 +1,107 @@
+// Command essat-bench regenerates the data behind every figure of the
+// paper's evaluation (Figures 2-9 plus the §4.2.3 overhead measurement)
+// and prints each as an aligned text table.
+//
+// Examples:
+//
+//	essat-bench                    # every figure, quick setting
+//	essat-bench -paper             # the paper's full 200s × 5-seed setting
+//	essat-bench -fig 3 -fig 6      # just Figures 3 and 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/essat/essat"
+)
+
+type figList []string
+
+func (f *figList) String() string { return strings.Join(*f, ",") }
+
+func (f *figList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var figs figList
+	var (
+		paper    = flag.Bool("paper", false, "use the paper's full setting (200s runs, 5 seeds) instead of the quick one")
+		duration = flag.Duration("duration", 0, "override run duration")
+		seeds    = flag.Int("seeds", 0, "override seeds per point")
+	)
+	ablations := flag.Bool("ablations", false, "also run the DESIGN.md ablation and robustness studies")
+	flag.Var(&figs, "fig", "figure to regenerate (2-9 or 'overhead'); repeatable, default all")
+	flag.Parse()
+
+	o := essat.QuickOptions()
+	if *paper {
+		o = essat.PaperOptions()
+	}
+	if *duration > 0 {
+		o.Duration = *duration
+	}
+	if *seeds > 0 {
+		o.Seeds = *seeds
+	}
+
+	if len(figs) == 0 {
+		figs = figList{"2", "3", "4", "5", "6", "7", "8", "9", "overhead"}
+	}
+	if *ablations {
+		figs = append(figs, "ablation-guard", "ablation-buffering", "ablation-tree",
+			"robustness-loss", "robustness-failures", "lifetime")
+	}
+
+	start := time.Now()
+	for _, f := range figs {
+		var fig *essat.Figure
+		var err error
+		switch f {
+		case "2":
+			fig, err = essat.Fig2Deadline(o, nil)
+		case "3":
+			fig, err = essat.Fig3DutyVsRate(o, nil)
+		case "4":
+			fig, err = essat.Fig4DutyVsQueries(o, nil)
+		case "5":
+			fig, err = essat.Fig5DutyByRank(o)
+		case "6":
+			fig, err = essat.Fig6LatencyVsRate(o, nil)
+		case "7":
+			fig, err = essat.Fig7LatencyVsQueries(o, nil)
+		case "8":
+			fig, _, err = essat.Fig8SleepHistogram(o)
+		case "9":
+			fig, err = essat.Fig9BreakEven(o, nil)
+		case "overhead":
+			fig, err = essat.OverheadPhaseUpdates(o, nil)
+		case "ablation-guard":
+			fig, err = essat.AblationBreakEvenGuard(o)
+		case "ablation-buffering":
+			fig, err = essat.AblationBuffering(o)
+		case "ablation-tree":
+			fig, err = essat.AblationTreeConstruction(o)
+		case "robustness-loss":
+			fig, err = essat.RobustnessLoss(o, nil)
+		case "robustness-failures":
+			fig, err = essat.RobustnessFailures(o, nil)
+		case "lifetime":
+			fig, err = essat.Lifetime(o, 0)
+		default:
+			err = fmt.Errorf("unknown figure %q", f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essat-bench:", err)
+			os.Exit(1)
+		}
+		essat.PrintFigure(os.Stdout, fig)
+		fmt.Println()
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
+}

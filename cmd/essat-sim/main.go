@@ -1,0 +1,155 @@
+// Command essat-sim runs one ESSAT simulation scenario from flags and
+// prints its metrics: duty cycle, per-rank duty distribution, query
+// latency per class, coverage, and protocol overheads.
+//
+// Examples:
+//
+//	essat-sim -protocol DTS-SS -rate 5 -duration 200s
+//	essat-sim -protocol STS-SS -deadline 120ms -seeds 5
+//	essat-sim -protocol DTS-SS -loss 0.1 -failures 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/essat/essat"
+	"github.com/essat/essat/internal/stats"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "DTS-SS", "protocol: DTS-SS, STS-SS, NTS-SS, SPAN, PSM, SYNC")
+		rate     = flag.Float64("rate", 1.0, "base rate of query class Q1 in Hz (Q1:Q2:Q3 = 6:3:2)")
+		perClass = flag.Int("queries", 1, "queries per class")
+		nodes    = flag.Int("nodes", 80, "number of nodes")
+		area     = flag.Float64("area", 500, "deployment area side in meters")
+		duration = flag.Duration("duration", 200*time.Second, "simulated duration")
+		seeds    = flag.Int("seeds", 1, "number of seeds to average over")
+		deadline = flag.Duration("deadline", 0, "STS deadline D (0 = query period)")
+		tbe      = flag.Duration("tbe", -1, "Safe Sleep break-even time (-1 = radio default)")
+		loss     = flag.Float64("loss", 0, "independent per-delivery loss probability")
+		failures = flag.Int("failures", 0, "random non-leaf nodes to kill mid-run")
+		bfs      = flag.Bool("bfs-tree", false, "use idealized BFS tree instead of simulated setup flood")
+		verbose  = flag.Bool("v", false, "print per-rank duty cycles and channel stats")
+		traceN   = flag.Int("trace", 0, "record and print the last N structured events (radio transitions, recovery)")
+		dissem   = flag.Duration("dissem", 0, "add a downstream command flow with this period (0 = none)")
+		peers    = flag.Int("peers", 0, "add N random peer-to-peer flows at 1 Hz")
+		battery  = flag.Float64("battery", 0, "per-node battery budget in joules (0 = unlimited)")
+	)
+	flag.Parse()
+
+	var duty, lat stats.Welford
+	var last *essat.Result
+	for seed := int64(1); seed <= int64(*seeds); seed++ {
+		sc := essat.DefaultScenario(essat.Protocol(*protocol), seed)
+		sc.Topology.NumNodes = *nodes
+		sc.Topology.AreaSide = *area
+		sc.Duration = *duration
+		if sc.MeasureFrom >= sc.Duration {
+			sc.MeasureFrom = sc.Duration / 5
+		}
+		sc.STSDeadline = *deadline
+		sc.SSBreakEven = *tbe
+		sc.LossRate = *loss
+		sc.BFSTree = *bfs
+		sc.TraceCapacity = *traceN
+		if *failures > 0 || *loss > 0 {
+			sc.QueryCfg.FailureThreshold = 3
+		}
+		for i := 0; i < *failures; i++ {
+			sc.Failures = append(sc.Failures, essat.Failure{
+				At:   sc.Duration / 4 * time.Duration(i+1) / time.Duration(*failures),
+				Node: -1,
+			})
+		}
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = essat.QueryClasses(rng, *rate, *perClass, 10*time.Second)
+		if *dissem > 0 {
+			sc.Dissemination = []essat.DisseminationSpec{{
+				ID: -1, Period: *dissem, Phase: 5 * time.Second,
+			}}
+		}
+		for i := 0; i < *peers; i++ {
+			sc.PeerFlows = append(sc.PeerFlows, essat.P2PSpec{
+				ID: essat.QueryID(-(i + 2)), Src: -1, Dst: -1,
+				Period: time.Second, Phase: 5 * time.Second,
+			})
+		}
+		sc.BatteryJ = *battery
+
+		res, err := essat.Run(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essat-sim:", err)
+			os.Exit(1)
+		}
+		duty.Add(res.DutyCycle * 100)
+		lat.Add(res.Latency.Mean.Seconds())
+		last = res
+	}
+
+	fmt.Printf("protocol       %s\n", *protocol)
+	fmt.Printf("tree           %d members, max rank %d\n", last.TreeSize, last.MaxRank)
+	fmt.Printf("duty cycle     %.2f%% ± %.2f (90%% CI over %d seeds)\n", duty.Mean(), duty.CI90(), duty.N())
+	fmt.Printf("query latency  %.3fs ± %.3f (mean of per-interval max-source latency)\n", lat.Mean(), lat.CI90())
+	fmt.Printf("coverage       %.1f of %d sources per interval (last seed)\n", last.Coverage, last.TreeSize)
+	fmt.Printf("energy         mean %.2f J, worst node %.2f J over the window; est. lifetime %.1f days\n",
+		last.EnergyMean, last.EnergyMax, last.NetworkLifetime.Hours()/24)
+	if last.BatteryDeaths > 0 {
+		fmt.Printf("battery        %d nodes exhausted; first death at %v\n",
+			last.BatteryDeaths, last.FirstDeath.Round(time.Second))
+	}
+	if *dissem > 0 {
+		fmt.Printf("dissemination  %.1f%% delivery, %v mean latency\n",
+			last.DisseminationDelivery*100, last.DisseminationLatency.Round(time.Millisecond))
+	}
+	if *peers > 0 {
+		fmt.Printf("peer flows     %.1f%% delivery, %v mean latency\n",
+			last.P2PDelivery*100, last.P2PLatency.Round(time.Millisecond))
+	}
+	if last.PhaseUpdateBitsPerReport > 0 {
+		fmt.Printf("DTS overhead   %.3f piggybacked bits per data report, %d phase shifts\n",
+			last.PhaseUpdateBitsPerReport, last.PhaseShifts)
+	}
+	fmt.Printf("traffic        %d MAC frames sent, %d failed, %d retries, %d timeouts, %d pass-throughs\n",
+		last.MACSent, last.MACFailed, last.MACRetries, last.Timeouts, last.PassThroughs)
+
+	if *verbose {
+		fmt.Println("\nduty cycle by rank (last seed):")
+		ranks := make([]int, 0, len(last.DutyByRank))
+		for r := range last.DutyByRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			fmt.Printf("  rank %d: %6.2f%%\n", r, last.DutyByRank[r]*100)
+		}
+		fmt.Println("\nlatency by class (last seed):")
+		classes := make([]int, 0, len(last.LatencyByClass))
+		for c := range last.LatencyByClass {
+			classes = append(classes, c)
+		}
+		sort.Ints(classes)
+		for _, c := range classes {
+			ds := last.LatencyByClass[c]
+			fmt.Printf("  Q%d: mean=%v p95=%v max=%v (n=%d)\n", c,
+				ds.Mean.Round(time.Millisecond), ds.P95.Round(time.Millisecond),
+				ds.Max.Round(time.Millisecond), ds.N)
+		}
+		ch := last.Channel
+		fmt.Printf("\nchannel: %d tx, %d delivered, %d overheard, %d collisions, %d missed-asleep\n",
+			ch.Transmissions, ch.Deliveries, ch.Overheard, ch.Collisions, ch.MissedAsleep)
+		fmt.Printf("events: %d simulator events\n", last.Events)
+	}
+
+	if *traceN > 0 {
+		fmt.Printf("\nlast %d structured events (last seed):\n", len(last.Trace))
+		for _, e := range last.Trace {
+			fmt.Println(" ", e)
+		}
+	}
+}

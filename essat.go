@@ -1,0 +1,223 @@
+// Package essat is a faithful Go reproduction of "Efficient Power
+// Management based on Application Timing Semantics for Wireless Sensor
+// Networks" (Chipara, Lu, Roman — WUCSE-2004-26 / ICDCS 2005).
+//
+// ESSAT (Efficient Sleep Scheduling based on Application Timing) pairs a
+// local just-in-time sleep scheduler, Safe Sleep, with an in-network
+// traffic shaper that gives multi-hop query traffic predictable timing:
+//
+//   - NTS-SS: no shaping — forward greedily, wake everyone at period
+//     boundaries. No delay penalty; energy grows linearly with tree rank.
+//   - STS-SS: static shaping — pace transmissions by tree rank over an
+//     assigned deadline D, with local deadline l = D/M.
+//   - DTS-SS: dynamic shaping — Release-Guard-style self-tuning schedules
+//     with piggybacked phase updates; the paper's headline protocol.
+//
+// The package bundles everything the paper's evaluation needs: a
+// deterministic discrete-event simulator, a unit-disc wireless channel
+// with collisions, a CSMA/CA (802.11 DCF style) MAC, flood-built
+// aggregation trees, a periodic query service, the SPAN / PSM / SYNC
+// baselines, and one driver per figure of the paper.
+//
+// # Quick start
+//
+//	sc := essat.DefaultScenario(essat.DTSSS, 1)
+//	sc.Queries = essat.QueryClasses(rand.New(rand.NewSource(1)), 1.0, 1, 10*time.Second)
+//	res, err := essat.Run(sc)
+//	// res.DutyCycle, res.Latency, ...
+//
+// See examples/ for runnable programs and cmd/essat-bench for the full
+// figure suite.
+package essat
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/essat/essat/internal/core"
+	"github.com/essat/essat/internal/experiment"
+	"github.com/essat/essat/internal/query"
+)
+
+// Protocol selects a power-management protocol.
+type Protocol = experiment.Protocol
+
+// The implemented protocols: the three ESSAT variants and the paper's
+// three baselines.
+const (
+	// NTSSS is Safe Sleep without traffic shaping (§4.2.1).
+	NTSSS = experiment.NTSSS
+	// STSSS is Safe Sleep with the static traffic shaper (§4.2.2).
+	STSSS = experiment.STSSS
+	// DTSSS is Safe Sleep with the dynamic traffic shaper (§4.2.3).
+	DTSSS = experiment.DTSSS
+	// SPAN keeps a backbone of non-leaf tree nodes always on; leaves run
+	// NTS-SS (the paper's §5 configuration of SPAN).
+	SPAN = experiment.SPAN
+	// PSM is IEEE 802.11 power-save with traffic advertisements.
+	PSM = experiment.PSM
+	// SYNC is a synchronized fixed 20% duty cycle.
+	SYNC = experiment.SYNC
+	// TMAC is the adaptive-active-window baseline from the paper's
+	// related-work discussion (van Dam & Langendoen, reference [12]).
+	TMAC = experiment.TMAC
+)
+
+// AllProtocols lists every protocol in presentation order.
+func AllProtocols() []Protocol {
+	return append([]Protocol(nil), experiment.AllProtocols...)
+}
+
+// QuerySpec describes one periodic query: period P, start phase φ, and a
+// class label for result grouping.
+type QuerySpec = query.Spec
+
+// QueryID identifies a query.
+type QueryID = query.ID
+
+// Scenario fully describes one simulation run; see DefaultScenario.
+type Scenario = experiment.Scenario
+
+// Result aggregates one run's metrics.
+type Result = experiment.Result
+
+// Failure schedules a node death for robustness experiments.
+type Failure = experiment.Failure
+
+// DisseminationSpec describes a periodic root-to-leaves flow (the §3
+// "data dissemination" extension); assign it to Scenario.Dissemination.
+// Flow IDs must be disjoint from query IDs (negative IDs work well).
+type DisseminationSpec = core.DisseminationSpec
+
+// P2PSpec describes a periodic peer-to-peer flow routed through the tree
+// (the §3 "peer-to-peer communication" extension); assign it to
+// Scenario.PeerFlows. Flow IDs must be disjoint from query and
+// dissemination IDs.
+type P2PSpec = core.P2PSpec
+
+// QueryStop deregisters a query mid-run (workload adaptation); assign it
+// to Scenario.QueryStops.
+type QueryStop = experiment.QueryStop
+
+// Figure is a reproduced table/figure ready to print.
+type Figure = experiment.Figure
+
+// Options scales the figure drivers (run duration, seeds, node count).
+type Options = experiment.Options
+
+// DefaultScenario returns the paper's §5 experimental setup (80 nodes in
+// 500×500 m², 125 m range, flood-built tree within 300 m of the central
+// root, MICA2-like radio, 200 s run) for the given protocol and seed.
+// Queries must still be assigned; see QueryClasses.
+func DefaultScenario(p Protocol, seed int64) Scenario {
+	return experiment.DefaultScenario(p, seed)
+}
+
+// Run executes a scenario and returns its metrics.
+func Run(sc Scenario) (*Result, error) { return experiment.Run(sc) }
+
+// QueryClasses builds the paper's three-class workload with rate ratio
+// Q1:Q2:Q3 = 6:3:2, Q1 at baseRate Hz, perClass queries per class, and
+// random start phases in [0, phaseMax).
+func QueryClasses(rng *rand.Rand, baseRate float64, perClass int, phaseMax time.Duration) []QuerySpec {
+	return experiment.QueryClasses(rng, baseRate, perClass, phaseMax)
+}
+
+// PaperOptions reproduces the paper's full experimental setting
+// (200-second runs, 5 seeds per point, 80 nodes).
+func PaperOptions() Options { return experiment.PaperOptions() }
+
+// QuickOptions is a scaled-down setting for exploration and CI.
+func QuickOptions() Options { return experiment.QuickOptions() }
+
+// Fig2Deadline regenerates Figure 2 (STS deadline sweep). A nil deadlines
+// slice selects the paper's sweep range.
+func Fig2Deadline(o Options, deadlines []time.Duration) (*Figure, error) {
+	return experiment.Fig2Deadline(o, deadlines)
+}
+
+// Fig3DutyVsRate regenerates Figure 3 (duty cycle vs base rate).
+func Fig3DutyVsRate(o Options, rates []float64) (*Figure, error) {
+	return experiment.Fig3DutyVsRate(o, rates)
+}
+
+// Fig4DutyVsQueries regenerates Figure 4 (duty cycle vs queries/class).
+func Fig4DutyVsQueries(o Options, counts []int) (*Figure, error) {
+	return experiment.Fig4DutyVsQueries(o, counts)
+}
+
+// Fig5DutyByRank regenerates Figure 5 (duty cycle distribution by rank).
+func Fig5DutyByRank(o Options) (*Figure, error) {
+	return experiment.Fig5DutyByRank(o)
+}
+
+// Fig6LatencyVsRate regenerates Figure 6 (query latency vs base rate).
+func Fig6LatencyVsRate(o Options, rates []float64) (*Figure, error) {
+	return experiment.Fig6LatencyVsRate(o, rates)
+}
+
+// Fig7LatencyVsQueries regenerates Figure 7 (latency vs queries/class).
+func Fig7LatencyVsQueries(o Options, counts []int) (*Figure, error) {
+	return experiment.Fig7LatencyVsQueries(o, counts)
+}
+
+// Fig8SleepHistogram regenerates Figure 8 (sleep-interval histogram at
+// TBE=0) and returns the percentage of sleeps shorter than 2.5 ms per
+// ESSAT protocol (DTS, STS, NTS), the number the paper reads off it.
+func Fig8SleepHistogram(o Options) (*Figure, []float64, error) {
+	return experiment.Fig8SleepHistogram(o)
+}
+
+// Fig9BreakEven regenerates Figure 9 (DTS-SS duty cycle vs rate for
+// Safe Sleep break-even times of 0, 2.5, 10 and 40 ms).
+func Fig9BreakEven(o Options, rates []float64) (*Figure, error) {
+	return experiment.Fig9BreakEven(o, rates)
+}
+
+// OverheadPhaseUpdates regenerates the §4.2.3 phase-update overhead
+// measurement (paper: < 1 bit per data report).
+func OverheadPhaseUpdates(o Options, rates []float64) (*Figure, error) {
+	return experiment.OverheadPhaseUpdates(o, rates)
+}
+
+// AblationBreakEvenGuard compares the Safe Sleep break-even guard
+// against naive sleep-any-gap scheduling (DESIGN.md ablation).
+func AblationBreakEvenGuard(o Options) (*Figure, error) {
+	return experiment.AblationBreakEvenGuard(o)
+}
+
+// AblationBuffering compares early-report buffering against greedy early
+// sends (DESIGN.md ablation).
+func AblationBuffering(o Options) (*Figure, error) {
+	return experiment.AblationBuffering(o)
+}
+
+// AblationTreeConstruction compares the simulated setup-flood tree
+// against an idealized min-hop BFS tree (DESIGN.md ablation).
+func AblationTreeConstruction(o Options) (*Figure, error) {
+	return experiment.AblationTreeConstruction(o)
+}
+
+// RobustnessLoss sweeps transient packet loss against the §4.3
+// maintenance mechanisms. nil lossRates selects {0, 5, 10, 20}%.
+func RobustnessLoss(o Options, lossRates []float64) (*Figure, error) {
+	return experiment.RobustnessLoss(o, lossRates)
+}
+
+// RobustnessFailures kills growing numbers of random non-leaf nodes and
+// measures survivor coverage under the §4.3 recovery procedures. nil
+// failureCounts selects {0, 1, 2, 4}.
+func RobustnessFailures(o Options, failureCounts []int) (*Figure, error) {
+	return experiment.RobustnessFailures(o, failureCounts)
+}
+
+// Lifetime measures time-to-first-battery-death per protocol with finite
+// node batteries (§4.2.1's network-lifetime argument). batteryJ <= 0
+// selects a 0.5 J budget sized to the quick options.
+func Lifetime(o Options, batteryJ float64) (*Figure, error) {
+	return experiment.Lifetime(o, batteryJ)
+}
+
+// PrintFigure renders a figure as an aligned text table.
+func PrintFigure(w io.Writer, f *Figure) { f.Fprint(w) }

@@ -1,0 +1,64 @@
+// Dissemination: the §3 extension — "ESSAT can also be extended to
+// support other communication patterns such as peer-to-peer
+// communication or data dissemination."
+//
+// The example runs bidirectional traffic under DTS-SS: the usual upward
+// aggregation queries plus a periodic downstream command flow from the
+// base station (e.g. re-tasking or actuation commands), with Safe Sleep
+// scheduling wake-ups for both directions on the same radio. It prints
+// the downstream delivery ratio and latency and the energy cost of
+// adding the second direction.
+//
+//	go run ./examples/dissemination
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/essat/essat"
+)
+
+func main() {
+	base := func(seed int64) essat.Scenario {
+		sc := essat.DefaultScenario(essat.DTSSS, seed)
+		sc.Duration = 60 * time.Second
+		rng := rand.New(rand.NewSource(seed * 13))
+		sc.Queries = essat.QueryClasses(rng, 1.0, 1, 10*time.Second)
+		return sc
+	}
+
+	up, err := essat.Run(base(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	both := base(1)
+	both.Dissemination = []essat.DisseminationSpec{{
+		ID:           -1, // disjoint from query IDs
+		Period:       2 * time.Second,
+		Phase:        5 * time.Second,
+		HopAllowance: 50 * time.Millisecond,
+	}}
+	res, err := essat.Run(both)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Bidirectional ESSAT: upward aggregation + downstream commands (DTS-SS)")
+	fmt.Printf("  tree: %d nodes, max rank %d\n\n", res.TreeSize, res.MaxRank)
+	fmt.Printf("  upward only:   duty %.2f%%   query latency %v\n",
+		up.DutyCycle*100, up.Latency.Mean.Round(time.Millisecond))
+	fmt.Printf("  bidirectional: duty %.2f%%   query latency %v\n",
+		res.DutyCycle*100, res.Latency.Mean.Round(time.Millisecond))
+	fmt.Printf("\n  downstream flow (every 2s):\n")
+	fmt.Printf("    delivery ratio: %.1f%% of node-intervals\n", res.DisseminationDelivery*100)
+	fmt.Printf("    mean latency:   %v from release to reception\n",
+		res.DisseminationLatency.Round(time.Millisecond))
+	fmt.Printf("\n  the downstream direction added %.2f points of duty cycle —\n",
+		(res.DutyCycle-up.DutyCycle)*100)
+	fmt.Println("  nodes wake for per-level forwarding slots just as they do for")
+	fmt.Println("  expected reports, so commands ride the same timing semantics.")
+}

@@ -1,0 +1,66 @@
+// Surveillance: a latency-critical deployment from the paper's
+// introduction — "a surveillance application may require the network to
+// report all suspicious events within a few seconds in order to ensure
+// timely response to intrusions".
+//
+// The example runs the same 2 Hz detection query under every protocol and
+// checks which ones meet a 500 ms reporting deadline, and at what energy
+// cost. It demonstrates the paper's core trade-off: ESSAT protocols reach
+// near-SPAN latency at a fraction of the energy, while PSM and SYNC save
+// energy only by blowing the deadline.
+//
+//	go run ./examples/surveillance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/essat/essat"
+)
+
+func main() {
+	const (
+		deadline = 500 * time.Millisecond
+		seeds    = 3
+	)
+
+	fmt.Println("Surveillance scenario: 2 Hz detection query, 500 ms reporting deadline")
+	fmt.Printf("%-8s %12s %12s %12s %10s\n", "protocol", "duty (%)", "mean lat", "p95 lat", "deadline")
+
+	for _, p := range essat.AllProtocols() {
+		var duty, lat, p95 float64
+		met := true
+		for seed := int64(1); seed <= seeds; seed++ {
+			sc := essat.DefaultScenario(p, seed)
+			sc.Duration = 60 * time.Second
+			rng := rand.New(rand.NewSource(seed * 31))
+			// One query per class, base rate 2 Hz: Q1 is the 2 Hz
+			// detection stream; Q2/Q3 are slower housekeeping queries.
+			sc.Queries = essat.QueryClasses(rng, 2.0, 1, 5*time.Second)
+			res, err := essat.Run(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			duty += res.DutyCycle * 100 / seeds
+			// The detection stream is class 1.
+			q1 := res.LatencyByClass[1]
+			lat += q1.Mean.Seconds() / seeds
+			p95 += q1.P95.Seconds() / seeds
+			if q1.P95 > deadline {
+				met = false
+			}
+		}
+		verdict := "MET"
+		if !met {
+			verdict = "missed"
+		}
+		fmt.Printf("%-8s %12.2f %11.0fms %11.0fms %10s\n",
+			p, duty, lat*1000, p95*1000, verdict)
+	}
+
+	fmt.Println("\nESSAT's point: just-in-time wakeups meet the deadline without an")
+	fmt.Println("always-on backbone; duty-cycled baselines meet it only by luck.")
+}

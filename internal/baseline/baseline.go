@@ -1,0 +1,391 @@
+// Package baseline implements the power-management schemes the paper
+// compares ESSAT against (§5):
+//
+//   - SYNC: a synchronized fixed duty cycle — every node is awake for the
+//     same active window of each period (20% at 0.2 s in the paper),
+//     the approach of synchronous wake-up protocols like S-MAC.
+//   - PSM: IEEE 802.11 power-save with the traffic-advertisement
+//     extension: all nodes wake for the ATIM window of every beacon
+//     period, announce pending traffic, and only the announced
+//     sender/receiver pairs stay up for the data window.
+//   - SPAN: a communication-backbone scheme. Following the paper's own
+//     configuration, the backbone is the set of non-leaf routing-tree
+//     nodes, kept always on, while leaf nodes run NTS-SS. The backbone
+//     policy is expressed by disabling Safe Sleep on those nodes (see the
+//     experiment wiring), so this package only provides the shared
+//     building blocks.
+//
+// The Greedy shaper gives baseline nodes the protocol-independent query
+// mechanics (aggregation deadlines) with no traffic shaping and no sleep
+// bookkeeping.
+package baseline
+
+import (
+	"time"
+
+	"github.com/essat/essat/internal/mac"
+	"github.com/essat/essat/internal/node"
+	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/sim"
+)
+
+// Greedy is a pass-through "shaper": reports are forwarded the moment
+// they are ready and no sleep schedule is maintained. Collection
+// deadlines default to 3/4 of the query period past the interval start,
+// stretched to PerHopDelay·(rank+1) for power managers whose store-and-
+// forward latency exceeds the query period (PSM and SYNC wait up to a
+// full beacon per hop, so a deeper node must wait proportionally longer
+// for its subtree or aggregation degenerates into per-source forwarding).
+type Greedy struct {
+	// TimeoutFraction of the period to wait for children. Zero selects
+	// the 0.75 default.
+	TimeoutFraction float64
+	// PerHopDelay is the power manager's expected per-hop forwarding
+	// delay (e.g. the PSM/SYNC beacon period). Zero disables the stretch.
+	PerHopDelay time.Duration
+
+	rank  func() int
+	specs map[query.ID]query.Spec
+}
+
+var _ query.Shaper = (*Greedy)(nil)
+
+// NewGreedy returns a greedy no-op shaper. rank reports the node's
+// current rank and may be nil when PerHopDelay is unused.
+func NewGreedy(rank func() int) *Greedy {
+	if rank == nil {
+		rank = func() int { return 0 }
+	}
+	return &Greedy{rank: rank, specs: make(map[query.ID]query.Spec)}
+}
+
+// Name implements query.Shaper.
+func (g *Greedy) Name() string { return "greedy" }
+
+// QueryAdded implements query.Shaper.
+func (g *Greedy) QueryAdded(spec query.Spec, children []query.NodeID) { g.specs[spec.ID] = spec }
+
+// ReportReady implements query.Shaper: send immediately, no piggyback.
+func (g *Greedy) ReportReady(q query.ID, k int, readyAt time.Duration) (time.Duration, time.Duration) {
+	return readyAt, query.NoPhase
+}
+
+// ReportSent implements query.Shaper.
+func (g *Greedy) ReportSent(q query.ID, k int) {}
+
+// ReportFailed implements query.Shaper.
+func (g *Greedy) ReportFailed(q query.ID, k int) {}
+
+// ReportReceived implements query.Shaper.
+func (g *Greedy) ReportReceived(q query.ID, c query.NodeID, k int, phase time.Duration) {}
+
+// IntervalClosed implements query.Shaper.
+func (g *Greedy) IntervalClosed(q query.ID, k int, missing []query.NodeID) {}
+
+// CollectDeadline implements query.Shaper.
+func (g *Greedy) CollectDeadline(q query.ID, k int) time.Duration {
+	spec := g.specs[q]
+	frac := g.TimeoutFraction
+	if frac <= 0 {
+		frac = 0.75
+	}
+	wait := time.Duration(frac * float64(spec.Period))
+	if byHops := g.PerHopDelay * time.Duration(g.rank()+1); byHops > wait {
+		wait = byHops
+	}
+	return spec.IntervalStart(k) + wait
+}
+
+// QueryRemoved implements query.Shaper.
+func (g *Greedy) QueryRemoved(q query.ID) { delete(g.specs, q) }
+
+// ChildAdded implements query.Shaper.
+func (g *Greedy) ChildAdded(q query.ID, c query.NodeID) {}
+
+// ChildRemoved implements query.Shaper.
+func (g *Greedy) ChildRemoved(q query.ID, c query.NodeID) {}
+
+// ParentChanged implements query.Shaper.
+func (g *Greedy) ParentChanged(q query.ID) {}
+
+// ControlReceived implements query.Shaper.
+func (g *Greedy) ControlReceived(from query.NodeID, msg any) {}
+
+// --- SYNC -------------------------------------------------------------------
+
+// SyncConfig parameterizes the SYNC fixed-duty-cycle protocol.
+type SyncConfig struct {
+	// Period of the shared schedule (0.2 s in the paper).
+	Period time.Duration
+	// ActiveWindow is the awake prefix of each period (20% duty → 40 ms).
+	ActiveWindow time.Duration
+}
+
+// DefaultSyncConfig returns the paper's SYNC configuration: 20% duty
+// cycle with a 0.2 s period.
+func DefaultSyncConfig() SyncConfig {
+	return SyncConfig{Period: 200 * time.Millisecond, ActiveWindow: 40 * time.Millisecond}
+}
+
+// SyncPM keeps the radio on for the first ActiveWindow of every Period,
+// synchronized across all nodes. The MAC transmits only while the radio
+// is on, so frames queue until the next shared active window.
+type SyncPM struct {
+	eng   *sim.Engine
+	radio *radio.Radio
+	cfg   SyncConfig
+}
+
+var _ node.PowerManager = (*SyncPM)(nil)
+
+// NewSyncPM creates a SYNC power manager for one node.
+func NewSyncPM(eng *sim.Engine, r *radio.Radio, cfg SyncConfig) *SyncPM {
+	if cfg.Period <= 0 || cfg.ActiveWindow <= 0 || cfg.ActiveWindow > cfg.Period {
+		panic("baseline: SYNC needs 0 < ActiveWindow <= Period")
+	}
+	return &SyncPM{eng: eng, radio: r, cfg: cfg}
+}
+
+// Name implements node.PowerManager.
+func (p *SyncPM) Name() string { return "SYNC" }
+
+// Start implements node.PowerManager.
+func (p *SyncPM) Start() { p.windowStart() }
+
+func (p *SyncPM) windowStart() {
+	p.radio.TurnOn()
+	p.eng.After(p.cfg.ActiveWindow, func() { p.radio.TurnOff() })
+	p.eng.After(p.cfg.Period, p.windowStart)
+}
+
+// --- PSM --------------------------------------------------------------------
+
+// AtimMsg is PSM's traffic announcement, unicast to the receiver during
+// the ATIM window: the sender advertises that it holds frames for Dst
+// this beacon period. The MAC-level acknowledgement doubles as the
+// ATIM-ACK: only acknowledged destinations receive data this beacon.
+type AtimMsg struct {
+	Dst node.NodeID
+}
+
+// PsmConfig parameterizes the PSM baseline.
+type PsmConfig struct {
+	// BeaconPeriod is the full cycle (0.2 s in the paper).
+	BeaconPeriod time.Duration
+	// AtimWindow is the all-awake announcement window (0.025 s).
+	AtimWindow time.Duration
+	// DataWindow is the advertisement window following the ATIM window
+	// (0.1 s): an announced receiver stays awake at least this long after
+	// the ATIM window, extended while traffic keeps arriving.
+	DataWindow time.Duration
+	// AtimBytes is the on-air size of an announcement.
+	AtimBytes int
+}
+
+// DefaultPsmConfig returns the paper's PSM configuration.
+func DefaultPsmConfig() PsmConfig {
+	return PsmConfig{
+		BeaconPeriod: 200 * time.Millisecond,
+		AtimWindow:   25 * time.Millisecond,
+		DataWindow:   100 * time.Millisecond,
+		AtimBytes:    14,
+	}
+}
+
+type psmItem struct {
+	dst      node.NodeID
+	payload  any
+	bytes    int
+	cb       func(bool)
+	attempts int
+}
+
+// PsmPM implements the PSM baseline at one node. Reports submitted by the
+// query agent are buffered; at each beacon the node announces buffered
+// destinations in the ATIM window, releases the buffer into the MAC, and
+// sleeps once its own queue drained and — if it was announced as a
+// receiver — the advertisement window passed with no further traffic.
+type PsmPM struct {
+	eng   *sim.Engine
+	id    node.NodeID
+	radio *radio.Radio
+	mac   *mac.MAC
+	cfg   PsmConfig
+
+	buf       []*psmItem
+	acked     map[node.NodeID]bool
+	inAtim    bool
+	holdUntil time.Duration
+	windowEnd time.Duration
+	sleepEv   *sim.Event
+
+	// Announcements counts ATIM frames sent (protocol overhead).
+	Announcements uint64
+	// Rebuffered counts frames whose in-window delivery failed and that
+	// were queued again for the next beacon.
+	Rebuffered uint64
+}
+
+var _ node.PowerManager = (*PsmPM)(nil)
+var _ node.ReportGate = (*PsmPM)(nil)
+var _ node.ControlSink = (*PsmPM)(nil)
+
+// NewPsmPM creates a PSM power manager for one node.
+func NewPsmPM(eng *sim.Engine, id node.NodeID, r *radio.Radio, m *mac.MAC, cfg PsmConfig) *PsmPM {
+	if cfg.AtimWindow+cfg.DataWindow > cfg.BeaconPeriod {
+		panic("baseline: PSM windows exceed the beacon period")
+	}
+	p := &PsmPM{eng: eng, id: id, radio: r, mac: m, cfg: cfg, acked: make(map[node.NodeID]bool)}
+	m.SetIdleFunc(p.maybeSleep)
+	return p
+}
+
+// Name implements node.PowerManager.
+func (p *PsmPM) Name() string { return "PSM" }
+
+// Start implements node.PowerManager.
+func (p *PsmPM) Start() { p.beaconStart() }
+
+// SubmitReport implements node.ReportGate: buffer until the next beacon's
+// announcement cycle.
+func (p *PsmPM) SubmitReport(dst node.NodeID, payload any, bytes int, cb func(bool)) {
+	p.buf = append(p.buf, &psmItem{dst: dst, payload: payload, bytes: bytes, cb: cb})
+}
+
+// HandleControl implements node.ControlSink: an announcement naming this
+// node keeps it awake through the advertisement window.
+func (p *PsmPM) HandleControl(src node.NodeID, msg any) {
+	atim, ok := msg.(AtimMsg)
+	if !ok {
+		return
+	}
+	if atim.Dst == p.id {
+		p.extendHold(p.beaconBase() + p.cfg.AtimWindow + p.cfg.DataWindow)
+	}
+}
+
+// beaconBase returns the start time of the current beacon period.
+func (p *PsmPM) beaconBase() time.Duration {
+	return p.eng.Now() / p.cfg.BeaconPeriod * p.cfg.BeaconPeriod
+}
+
+func (p *PsmPM) extendHold(until time.Duration) {
+	if until > p.holdUntil {
+		p.holdUntil = until
+	}
+}
+
+// maybeSleep powers the radio down when the node has no in-flight work
+// and no reason to keep listening this beacon. Frames still buffered for
+// the next beacon do not keep the radio on: that is the point of PSM.
+func (p *PsmPM) maybeSleep() {
+	now := p.eng.Now()
+	if now < p.holdUntil {
+		if p.sleepEv == nil || p.sleepEv.Canceled() {
+			p.sleepEv = p.eng.Schedule(p.holdUntil, func() {
+				p.sleepEv = nil
+				p.maybeSleep()
+			})
+		}
+		return
+	}
+	if p.mac.Busy() {
+		return // MAC idle callback will retry
+	}
+	p.radio.TurnOff()
+}
+
+func (p *PsmPM) beaconStart() {
+	p.eng.After(p.cfg.BeaconPeriod, p.beaconStart)
+	p.radio.TurnOn()
+	// Everyone listens through the ATIM window.
+	p.holdUntil = p.eng.Now() + p.cfg.AtimWindow
+	p.inAtim = true
+	p.acked = make(map[node.NodeID]bool)
+
+	if len(p.buf) > 0 {
+		announced := make(map[node.NodeID]bool)
+		for _, it := range p.buf {
+			if announced[it.dst] {
+				continue
+			}
+			announced[it.dst] = true
+			p.Announcements++
+			dst := it.dst
+			p.mac.Send(dst, AtimMsg{Dst: dst}, p.cfg.AtimBytes, func(ok bool) {
+				if !ok {
+					return // receiver missed the ATIM; retry next beacon
+				}
+				p.acked[dst] = true
+				if !p.inAtim {
+					// Late ATIM-ACK: the data window already started.
+					p.releaseNext()
+				}
+			})
+		}
+	}
+	p.eng.After(p.cfg.AtimWindow, p.atimEnd)
+}
+
+func (p *PsmPM) atimEnd() {
+	// Transfers happen inside the advertisement window, one frame at a
+	// time, and only toward destinations whose ATIM was acknowledged (the
+	// ACK proves the receiver heard the announcement and will hold).
+	// Whatever does not fit is re-announced next beacon. The window is a
+	// boundary both ends share, so the receiver can sleep at its end
+	// without stranding a sender mid-burst.
+	p.inAtim = false
+	p.windowEnd = p.eng.Now() + p.cfg.DataWindow
+	p.releaseNext()
+}
+
+// releaseGuard is the minimum window remainder worth starting a transfer
+// in; anything later risks the receiver sleeping mid-exchange.
+const releaseGuard = 20 * time.Millisecond
+
+func (p *PsmPM) releaseNext() {
+	if p.inAtim || p.mac.QueueLen() > 0 {
+		return // a transfer is already in flight; its callback continues
+	}
+	if p.eng.Now() > p.windowEnd-releaseGuard {
+		p.maybeSleep()
+		return
+	}
+	// Pick the first frame whose destination acknowledged an ATIM.
+	idx := -1
+	for i, it := range p.buf {
+		if p.acked[it.dst] {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		p.maybeSleep()
+		return
+	}
+	it := p.buf[idx]
+	p.buf = append(p.buf[:idx:idx], p.buf[idx+1:]...)
+	p.mac.Send(it.dst, it.payload, it.bytes, func(ok bool) {
+		switch {
+		case ok:
+			if it.cb != nil {
+				it.cb(true)
+			}
+		case it.attempts < 4:
+			// The receiver likely slept at the window boundary; try again
+			// next beacon rather than reporting a link failure.
+			it.attempts++
+			p.Rebuffered++
+			p.buf = append(p.buf, it)
+		default:
+			if it.cb != nil {
+				it.cb(false)
+			}
+		}
+		p.releaseNext()
+	})
+}
+
+// phyBroadcast avoids importing phy just for the constant.
+const phyBroadcast node.NodeID = -1

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"time"
+
+	"github.com/essat/essat/internal/mac"
+	"github.com/essat/essat/internal/node"
+	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/sim"
+)
+
+// TmacConfig parameterizes the T-MAC baseline (van Dam & Langendoen,
+// SenSys'03 — reference [12] of the paper). T-MAC is SYNC with an
+// adaptive active window: all nodes wake at synchronized frame starts
+// and each stays awake only until no activation event (reception,
+// transmission end) has occurred for the timeout TA.
+type TmacConfig struct {
+	// FramePeriod is the synchronized wake-up period.
+	FramePeriod time.Duration
+	// TA is the activation timeout: the node sleeps once the channel has
+	// been uneventful for this long. Must cover a contention round plus a
+	// frame exchange.
+	TA time.Duration
+}
+
+// DefaultTmacConfig matches the evaluation's 0.2 s frame with a TA
+// covering roughly a worst-case contention window plus one exchange.
+func DefaultTmacConfig() TmacConfig {
+	return TmacConfig{FramePeriod: 200 * time.Millisecond, TA: 15 * time.Millisecond}
+}
+
+// TmacPM implements the T-MAC baseline at one node. Reports submitted
+// mid-frame are buffered and released at the next synchronized frame
+// start, when every node is briefly awake; activity then keeps the
+// participants awake (each reception or transmission resets TA) while
+// idle nodes drop out early. T-MAC adapts to load like PSM but without
+// announcement traffic — and, as the paper argues for all MAC-level
+// schemes, without knowing *when* the application will need the radio,
+// which is exactly what ESSAT exploits.
+type TmacPM struct {
+	eng   *sim.Engine
+	radio *radio.Radio
+	mac   *mac.MAC
+	cfg   TmacConfig
+
+	buf          []psmItem
+	lastActivity time.Duration
+	checkEv      *sim.Event
+}
+
+var _ node.PowerManager = (*TmacPM)(nil)
+var _ node.ReportGate = (*TmacPM)(nil)
+
+// NewTmacPM creates a T-MAC power manager for one node.
+func NewTmacPM(eng *sim.Engine, r *radio.Radio, m *mac.MAC, cfg TmacConfig) *TmacPM {
+	if cfg.FramePeriod <= 0 || cfg.TA <= 0 || cfg.TA > cfg.FramePeriod {
+		panic("baseline: T-MAC needs 0 < TA <= FramePeriod")
+	}
+	p := &TmacPM{eng: eng, radio: r, mac: m, cfg: cfg}
+	// Receptions and transmission completions are activation events.
+	r.Subscribe(func(old, new radio.State) {
+		if (old == radio.Rx || old == radio.Tx) && new == radio.Idle {
+			p.lastActivity = eng.Now()
+		}
+	})
+	m.SetIdleFunc(p.maybeSleep)
+	return p
+}
+
+// Name implements node.PowerManager.
+func (p *TmacPM) Name() string { return "TMAC" }
+
+// Start implements node.PowerManager.
+func (p *TmacPM) Start() { p.frameStart() }
+
+// SubmitReport implements node.ReportGate: buffer until the next frame
+// start so the receiver is guaranteed awake when the exchange begins.
+func (p *TmacPM) SubmitReport(dst node.NodeID, payload any, bytes int, cb func(bool)) {
+	p.buf = append(p.buf, psmItem{dst: dst, payload: payload, bytes: bytes, cb: cb})
+}
+
+func (p *TmacPM) frameStart() {
+	p.eng.After(p.cfg.FramePeriod, p.frameStart)
+	p.radio.TurnOn()
+	p.lastActivity = p.eng.Now()
+	for _, it := range p.buf {
+		p.mac.Send(it.dst, it.payload, it.bytes, it.cb)
+	}
+	p.buf = p.buf[:0]
+	p.scheduleCheck()
+}
+
+func (p *TmacPM) scheduleCheck() {
+	at := p.lastActivity + p.cfg.TA
+	if now := p.eng.Now(); at <= now {
+		return // deadline already passed; the MAC idle callback re-checks
+	}
+	if p.checkEv != nil {
+		p.checkEv.Cancel()
+	}
+	p.checkEv = p.eng.Schedule(at, func() {
+		p.checkEv = nil
+		p.maybeSleep()
+	})
+}
+
+// maybeSleep powers down once TA expired with no activity and no pending
+// MAC work. While the TA window is open it re-arms the deadline check;
+// while the MAC is busy it waits for the MAC-idle callback instead (the
+// transmission's end will also refresh lastActivity).
+func (p *TmacPM) maybeSleep() {
+	if !p.radio.IsOn() {
+		return
+	}
+	now := p.eng.Now()
+	if now < p.lastActivity+p.cfg.TA {
+		p.scheduleCheck()
+		return
+	}
+	if p.mac.Busy() {
+		return // re-entered from SetIdleFunc when the MAC drains
+	}
+	if p.checkEv != nil {
+		p.checkEv.Cancel()
+		p.checkEv = nil
+	}
+	p.radio.TurnOff()
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/sim"
+)
+
+// This file implements the extension sketched in §3 of the paper: "ESSAT
+// can also be extended to support other communication patterns such as
+// peer-to-peer communication or data dissemination." Dissemination is
+// the mirror image of collection: the root produces a command every
+// period and it travels *down* the tree, with Safe Sleep waking each
+// node just in time for its parent's forwarding slot.
+//
+// The shaping is STS-like but keyed by tree level (distance from the
+// root) instead of rank: a node at level L expects its parent's copy at
+// r(k) = φ + k·P + l·L and forwards to its children at
+// s(k) = φ + k·P + l·(L+1), where l is a per-hop allowance. Late copies
+// (MAC contention) are forwarded immediately, exactly like late reports
+// on the collection path.
+
+// DisseminationSpec describes a periodic downstream flow.
+type DisseminationSpec struct {
+	// ID must be unique across queries AND dissemination flows at a node:
+	// Safe Sleep bookkeeping shares one ID space. Use a disjoint range.
+	ID query.ID
+	// Period between commands; Phase is the first command's release time.
+	Period time.Duration
+	Phase  time.Duration
+	// HopAllowance is l, the per-hop forwarding slot. Zero selects 20 ms.
+	HopAllowance time.Duration
+	// Bytes is the on-air size of a command. Zero selects 52.
+	Bytes int
+}
+
+func (s DisseminationSpec) validate() error {
+	if s.Period <= 0 {
+		return fmt.Errorf("dissemination %d: period must be positive", s.ID)
+	}
+	if s.Phase < 0 {
+		return fmt.Errorf("dissemination %d: negative phase", s.ID)
+	}
+	return nil
+}
+
+func (s DisseminationSpec) hop() time.Duration {
+	if s.HopAllowance <= 0 {
+		return 20 * time.Millisecond
+	}
+	return s.HopAllowance
+}
+
+func (s DisseminationSpec) bytes() int {
+	if s.Bytes <= 0 {
+		return 52
+	}
+	return s.Bytes
+}
+
+func (s DisseminationSpec) releaseTime(k int) time.Duration {
+	return s.Phase + time.Duration(k)*s.Period
+}
+
+// Command is one disseminated message traveling down the tree.
+type Command struct {
+	Flow     query.ID
+	Interval int
+	Value    float64
+}
+
+// DisseminationEnv is the node context a Disseminator needs: the downward
+// topology view plus a send path. The node package's Node satisfies it
+// together with core.Env.
+type DisseminationEnv interface {
+	Env
+	// Children returns the node's current tree children.
+	Children() []query.NodeID
+	// SendData transmits a payload to a neighbor with delivery callback.
+	SendData(dst query.NodeID, payload any, bytes int, cb func(ok bool))
+}
+
+// DisseminationStats counts per-node dissemination outcomes.
+type DisseminationStats struct {
+	// Received counts commands received from the parent.
+	Received uint64
+	// Forwarded counts per-child forward deliveries confirmed by the MAC.
+	Forwarded uint64
+	// ForwardFailures counts per-child forwards that exhausted retries.
+	ForwardFailures uint64
+	// Late counts commands that arrived after their expected slot.
+	Late uint64
+	// LatencySum accumulates release→reception latency over Received.
+	LatencySum time.Duration
+}
+
+type dissemFlow struct {
+	spec  DisseminationSpec
+	got   map[int]bool
+	nextK int
+}
+
+// Disseminator runs the downstream pattern at one node. The root instance
+// generates commands; every other instance forwards its parent's copies
+// to its children, with Safe Sleep scheduled around the per-level slots.
+type Disseminator struct {
+	eng     *sim.Engine
+	env     DisseminationEnv
+	ss      *SafeSleep
+	level   func() int
+	deliver func(cmd *Command)
+	flows   map[query.ID]*dissemFlow
+	stats   DisseminationStats
+}
+
+// NewDisseminator creates the downstream handler. level reports the
+// node's current tree level (0 at the root). deliver, which may be nil,
+// receives every accepted command (the "application").
+func NewDisseminator(eng *sim.Engine, env DisseminationEnv, ss *SafeSleep, level func() int, deliver func(*Command)) *Disseminator {
+	if level == nil {
+		panic("core: nil level func")
+	}
+	return &Disseminator{
+		eng:     eng,
+		env:     env,
+		ss:      ss,
+		level:   level,
+		deliver: deliver,
+		flows:   make(map[query.ID]*dissemFlow),
+	}
+}
+
+// Stats returns a copy of the node's dissemination counters.
+func (d *Disseminator) Stats() DisseminationStats { return d.stats }
+
+// Register installs a flow. At the root it schedules command generation;
+// elsewhere it arms the Safe Sleep reception schedule.
+func (d *Disseminator) Register(spec DisseminationSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	if _, dup := d.flows[spec.ID]; dup {
+		return fmt.Errorf("dissemination %d: already registered", spec.ID)
+	}
+	fl := &dissemFlow{spec: spec, got: make(map[int]bool)}
+	d.flows[spec.ID] = fl
+	if d.env.IsRoot() {
+		d.eng.Schedule(spec.Phase, func() { d.generate(fl, 0) })
+		return nil
+	}
+	d.armReceive(fl, 0)
+	return nil
+}
+
+// recvTime is r(k) = φ + k·P + l·level for this node's current level.
+func (d *Disseminator) recvTime(fl *dissemFlow, k int) time.Duration {
+	return fl.spec.releaseTime(k) + time.Duration(d.level())*fl.spec.hop()
+}
+
+func (d *Disseminator) armReceive(fl *dissemFlow, k int) {
+	if d.ss == nil {
+		return
+	}
+	// The command comes from the parent; key the expectation by the flow
+	// with a synthetic "child" of -2 (the parent may change, and SS only
+	// needs one slot per flow on the downstream side).
+	d.ss.UpdateNextReceive(fl.spec.ID, -2, d.recvTime(fl, k))
+}
+
+// generate runs at the root: produce command k and forward it.
+func (d *Disseminator) generate(fl *dissemFlow, k int) {
+	d.eng.Schedule(fl.spec.releaseTime(k+1), func() { d.generate(fl, k+1) })
+	cmd := &Command{Flow: fl.spec.ID, Interval: k, Value: float64(k)}
+	if d.deliver != nil {
+		d.deliver(cmd)
+	}
+	d.forward(fl, cmd)
+}
+
+// HandleCommand processes a command received from the parent.
+func (d *Disseminator) HandleCommand(from query.NodeID, cmd *Command) {
+	fl, ok := d.flows[cmd.Flow]
+	if !ok {
+		return
+	}
+	if fl.got[cmd.Interval] {
+		return // duplicate via re-parent handoff
+	}
+	fl.got[cmd.Interval] = true
+	delete(fl.got, cmd.Interval-8)
+	d.stats.Received++
+	now := d.eng.Now()
+	d.stats.LatencySum += now - fl.spec.releaseTime(cmd.Interval)
+	if now > d.recvTime(fl, cmd.Interval)+fl.spec.hop() {
+		d.stats.Late++
+	}
+	if d.deliver != nil {
+		d.deliver(cmd)
+	}
+	// Expect the next command and forward this one down.
+	d.armReceive(fl, cmd.Interval+1)
+	d.forward(fl, cmd)
+}
+
+// forward sends cmd to every current child at the node's forwarding slot
+// s(k) = φ + k·P + l·(level+1), immediately if that slot already passed.
+func (d *Disseminator) forward(fl *dissemFlow, cmd *Command) {
+	children := d.env.Children()
+	if len(children) == 0 {
+		return
+	}
+	sendAt := fl.spec.releaseTime(cmd.Interval) + time.Duration(d.level()+1)*fl.spec.hop()
+	if now := d.eng.Now(); sendAt < now {
+		sendAt = now
+	}
+	if d.ss != nil {
+		d.ss.UpdateNextSend(fl.spec.ID, sendAt)
+	}
+	d.eng.Schedule(sendAt, func() {
+		for _, c := range children {
+			d.env.SendData(c, cmd, fl.spec.bytes(), func(ok bool) {
+				if ok {
+					d.stats.Forwarded++
+				} else {
+					d.stats.ForwardFailures++
+				}
+			})
+		}
+		if d.ss != nil {
+			// Next forwarding slot.
+			d.ss.UpdateNextSend(fl.spec.ID,
+				fl.spec.releaseTime(cmd.Interval+1)+time.Duration(d.level()+1)*fl.spec.hop())
+		}
+	})
+}

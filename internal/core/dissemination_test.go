@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/sim"
+)
+
+// fakeDissemEnv scripts a DisseminationEnv with an instant reliable link.
+type fakeDissemEnv struct {
+	*fakeEnv
+	children []query.NodeID
+	sent     []struct {
+		dst query.NodeID
+		cmd *Command
+	}
+	failNext bool
+}
+
+func (f *fakeDissemEnv) Children() []query.NodeID { return f.children }
+
+func (f *fakeDissemEnv) SendData(dst query.NodeID, payload any, bytes int, cb func(bool)) {
+	cmd := payload.(*Command)
+	f.sent = append(f.sent, struct {
+		dst query.NodeID
+		cmd *Command
+	}{dst, cmd})
+	ok := !f.failNext
+	f.failNext = false
+	if cb != nil {
+		cb(ok)
+	}
+}
+
+func dissemFixture(t *testing.T, root bool, level int, children []query.NodeID) (*sim.Engine, *fakeDissemEnv, *SafeSleep, *Disseminator) {
+	t.Helper()
+	eng := sim.New(1)
+	r := radio.New(eng, radio.Config{})
+	ss := NewSafeSleep(eng, r, SafeSleepOptions{Disabled: true})
+	env := &fakeDissemEnv{
+		fakeEnv:  &fakeEnv{eng: eng, self: 1, root: root, maxRank: 4, ranks: map[query.NodeID]int{}},
+		children: children,
+	}
+	var delivered []*Command
+	d := NewDisseminator(eng, env, ss, func() int { return level }, func(c *Command) {
+		delivered = append(delivered, c)
+	})
+	_ = delivered
+	return eng, env, ss, d
+}
+
+var dspec = DisseminationSpec{
+	ID:           -100, // disjoint from query IDs
+	Period:       time.Second,
+	Phase:        500 * time.Millisecond,
+	HopAllowance: 50 * time.Millisecond,
+}
+
+func TestDisseminationRootGenerates(t *testing.T) {
+	eng, env, _, d := dissemFixture(t, true, 0, []query.NodeID{2, 3})
+	if err := d.Register(dspec); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(2600 * time.Millisecond)
+	// Commands k=0,1,2 released at 0.5s, 1.5s, 2.5s; forwarded to both
+	// children at the level-1 slot (+50ms each release).
+	if got := len(env.sent); got != 6 {
+		t.Fatalf("root forwarded %d copies, want 6 (3 intervals × 2 children)", got)
+	}
+	if env.sent[0].cmd.Interval != 0 || env.sent[4].cmd.Interval != 2 {
+		t.Fatalf("intervals wrong: %+v", env.sent)
+	}
+	if d.Stats().Forwarded != 6 {
+		t.Fatalf("Forwarded = %d", d.Stats().Forwarded)
+	}
+}
+
+func TestDisseminationForwardSlotTiming(t *testing.T) {
+	eng, env, _, d := dissemFixture(t, true, 0, []query.NodeID{2})
+	if err := d.Register(dspec); err != nil {
+		t.Fatal(err)
+	}
+	var sentAt time.Duration
+	eng.Schedule(549*time.Millisecond, func() {
+		if len(env.sent) != 0 {
+			t.Error("forwarded before the level-1 slot")
+		}
+	})
+	eng.Schedule(551*time.Millisecond, func() {
+		if len(env.sent) == 1 {
+			sentAt = eng.Now()
+		}
+	})
+	eng.Run(600 * time.Millisecond)
+	if sentAt == 0 {
+		t.Fatal("not forwarded at the slot")
+	}
+}
+
+func TestDisseminationRelayReceivesAndForwards(t *testing.T) {
+	eng, env, ss, d := dissemFixture(t, false, 2, []query.NodeID{5})
+	if err := d.Register(dspec); err != nil {
+		t.Fatal(err)
+	}
+	// SS expects the parent's copy at r(0) = 0.5s + 2·50ms = 0.6s.
+	if got := ss.nextRecv[recvKey{dspec.ID, -2}]; got != 600*time.Millisecond {
+		t.Fatalf("rnext = %v, want 600ms", got)
+	}
+	// The copy arrives on time.
+	eng.Schedule(605*time.Millisecond, func() {
+		d.HandleCommand(0, &Command{Flow: dspec.ID, Interval: 0, Value: 7})
+	})
+	eng.Run(time.Second)
+	if d.Stats().Received != 1 {
+		t.Fatalf("Received = %d", d.Stats().Received)
+	}
+	// Forwarded to child 5 at s(0) = 0.5s + 3·50ms = 0.65s.
+	if len(env.sent) != 1 || env.sent[0].dst != 5 {
+		t.Fatalf("sent = %+v", env.sent)
+	}
+	// SS now expects interval 1 at 1.6s.
+	if got := ss.nextRecv[recvKey{dspec.ID, -2}]; got != 1600*time.Millisecond {
+		t.Fatalf("rnext = %v after k=0, want 1.6s", got)
+	}
+}
+
+func TestDisseminationDuplicateFiltered(t *testing.T) {
+	eng, env, _, d := dissemFixture(t, false, 1, []query.NodeID{5})
+	if err := d.Register(dspec); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(600*time.Millisecond, func() {
+		cmd := &Command{Flow: dspec.ID, Interval: 0}
+		d.HandleCommand(0, cmd)
+		d.HandleCommand(9, cmd) // duplicate via handoff
+	})
+	eng.Run(time.Second)
+	if d.Stats().Received != 1 {
+		t.Fatalf("Received = %d, want 1 (duplicate filtered)", d.Stats().Received)
+	}
+	if len(env.sent) != 1 {
+		t.Fatalf("forwarded %d, want 1", len(env.sent))
+	}
+}
+
+func TestDisseminationLateCommandForwardedImmediately(t *testing.T) {
+	eng, env, _, d := dissemFixture(t, false, 1, []query.NodeID{5})
+	if err := d.Register(dspec); err != nil {
+		t.Fatal(err)
+	}
+	// Slot for level 1 is 0.55s; the copy shows up at 0.9s.
+	eng.Schedule(900*time.Millisecond, func() {
+		d.HandleCommand(0, &Command{Flow: dspec.ID, Interval: 0})
+	})
+	eng.Run(901 * time.Millisecond)
+	if len(env.sent) != 1 {
+		t.Fatal("late command not forwarded immediately")
+	}
+	if d.Stats().Late != 1 {
+		t.Fatalf("Late = %d, want 1", d.Stats().Late)
+	}
+}
+
+func TestDisseminationLeafDoesNotForward(t *testing.T) {
+	eng, env, _, d := dissemFixture(t, false, 3, nil)
+	if err := d.Register(dspec); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(700*time.Millisecond, func() {
+		d.HandleCommand(0, &Command{Flow: dspec.ID, Interval: 0})
+	})
+	eng.Run(time.Second)
+	if len(env.sent) != 0 {
+		t.Fatal("leaf forwarded a command")
+	}
+}
+
+func TestDisseminationValidation(t *testing.T) {
+	_, _, _, d := dissemFixture(t, true, 0, nil)
+	if err := d.Register(DisseminationSpec{ID: -1, Period: 0}); err == nil {
+		t.Error("zero period accepted")
+	}
+	if err := d.Register(dspec); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(dspec); err == nil {
+		t.Error("duplicate flow accepted")
+	}
+}
+
+func TestDisseminationForwardFailureCounted(t *testing.T) {
+	eng, env, _, d := dissemFixture(t, true, 0, []query.NodeID{2})
+	if err := d.Register(dspec); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(540*time.Millisecond, func() { env.failNext = true })
+	eng.Run(600 * time.Millisecond)
+	if d.Stats().ForwardFailures != 1 {
+		t.Fatalf("ForwardFailures = %d, want 1", d.Stats().ForwardFailures)
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/sim"
+)
+
+// This file implements the second communication pattern sketched in §3:
+// periodic peer-to-peer flows, as used by distributed signal-processing
+// applications where "multiple sensor nodes sample and exchange data at
+// application-specific sampling frequencies for data fusion."
+//
+// A peer flow is routed along the tree (up from the source to the lowest
+// common ancestor, then down to the destination) with STS-like slotting:
+// the node at hop h of the path relays message k during the slot starting
+// at φ + k·P + l·h, and Safe Sleep wakes each relay just in time for the
+// previous hop's slot. Like the collection path, late messages are
+// relayed immediately.
+
+// P2PSpec describes one periodic peer-to-peer flow.
+type P2PSpec struct {
+	// ID must be unique across queries, dissemination and peer flows at a
+	// node: Safe Sleep bookkeeping shares one ID space.
+	ID query.ID
+	// Src produces a message every Period starting at Phase; Dst consumes.
+	Src, Dst query.NodeID
+	Period   time.Duration
+	Phase    time.Duration
+	// HopAllowance is l, the per-hop relay slot. Zero selects 20 ms.
+	HopAllowance time.Duration
+	// Bytes is the on-air message size. Zero selects 52.
+	Bytes int
+}
+
+func (s P2PSpec) validate() error {
+	if s.Period <= 0 {
+		return fmt.Errorf("p2p %d: period must be positive", s.ID)
+	}
+	if s.Phase < 0 {
+		return fmt.Errorf("p2p %d: negative phase", s.ID)
+	}
+	if s.Src == s.Dst {
+		return fmt.Errorf("p2p %d: src == dst", s.ID)
+	}
+	return nil
+}
+
+func (s P2PSpec) hop() time.Duration {
+	if s.HopAllowance <= 0 {
+		return 20 * time.Millisecond
+	}
+	return s.HopAllowance
+}
+
+func (s P2PSpec) bytes() int {
+	if s.Bytes <= 0 {
+		return 52
+	}
+	return s.Bytes
+}
+
+func (s P2PSpec) releaseTime(k int) time.Duration {
+	return s.Phase + time.Duration(k)*s.Period
+}
+
+// P2PMessage is one peer-to-peer payload in flight.
+type P2PMessage struct {
+	Flow     query.ID
+	Interval int
+	Value    float64
+}
+
+// P2PStats counts peer-flow outcomes at one node.
+type P2PStats struct {
+	// Originated counts messages this node generated as a source.
+	Originated uint64
+	// Relayed counts confirmed next-hop deliveries.
+	Relayed uint64
+	// RelayFailures counts next-hop deliveries that exhausted retries.
+	RelayFailures uint64
+	// Consumed counts messages accepted as the destination.
+	Consumed uint64
+	// LatencySum accumulates release→consumption delay over Consumed.
+	LatencySum time.Duration
+}
+
+type p2pFlow struct {
+	spec P2PSpec
+	// path is the full route (src..dst); myIdx is this node's hop index,
+	// -1 if the node is not on the path.
+	path  []query.NodeID
+	myIdx int
+	got   map[int]bool
+}
+
+// P2P runs the peer-to-peer pattern at one node.
+type P2P struct {
+	eng     *sim.Engine
+	env     DisseminationEnv
+	ss      *SafeSleep
+	deliver func(msg *P2PMessage)
+	flows   map[query.ID]*p2pFlow
+	stats   P2PStats
+}
+
+// NewP2P creates the peer-flow handler; deliver (which may be nil)
+// receives messages consumed at the destination.
+func NewP2P(eng *sim.Engine, env DisseminationEnv, ss *SafeSleep, deliver func(*P2PMessage)) *P2P {
+	return &P2P{eng: eng, env: env, ss: ss, deliver: deliver, flows: make(map[query.ID]*p2pFlow)}
+}
+
+// Stats returns a copy of the node's peer-flow counters.
+func (p *P2P) Stats() P2PStats { return p.stats }
+
+// Register installs a flow with its routed path (computed by the caller
+// from the tree). Nodes off the path ignore the flow.
+func (p *P2P) Register(spec P2PSpec, path []query.NodeID) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	if _, dup := p.flows[spec.ID]; dup {
+		return fmt.Errorf("p2p %d: already registered", spec.ID)
+	}
+	if len(path) < 2 || path[0] != spec.Src || path[len(path)-1] != spec.Dst {
+		return fmt.Errorf("p2p %d: path must run src→dst", spec.ID)
+	}
+	self := p.env.Self()
+	fl := &p2pFlow{spec: spec, path: path, myIdx: -1, got: make(map[int]bool)}
+	for i, id := range path {
+		if id == self {
+			fl.myIdx = i
+			break
+		}
+	}
+	p.flows[spec.ID] = fl
+	if fl.myIdx < 0 {
+		return nil // not on the path
+	}
+	switch fl.myIdx {
+	case 0:
+		p.eng.Schedule(spec.Phase, func() { p.generate(fl, 0) })
+	default:
+		p.armReceive(fl, 0)
+	}
+	return nil
+}
+
+// slot returns the start of hop h's relay slot for message k.
+func (fl *p2pFlow) slot(k, h int) time.Duration {
+	return fl.spec.releaseTime(k) + time.Duration(h)*fl.spec.hop()
+}
+
+func (p *P2P) armReceive(fl *p2pFlow, k int) {
+	if p.ss == nil {
+		return
+	}
+	// Expect the previous hop's relay at its slot. The synthetic child
+	// key -3 keeps peer-flow expectations separate from query children.
+	p.ss.UpdateNextReceive(fl.spec.ID, -3, fl.slot(k, fl.myIdx-1))
+}
+
+func (p *P2P) generate(fl *p2pFlow, k int) {
+	p.eng.Schedule(fl.spec.releaseTime(k+1), func() { p.generate(fl, k+1) })
+	p.stats.Originated++
+	p.relay(fl, &P2PMessage{Flow: fl.spec.ID, Interval: k, Value: float64(k)})
+}
+
+// HandleMessage processes a peer message arriving from the previous hop.
+func (p *P2P) HandleMessage(from query.NodeID, msg *P2PMessage) {
+	fl, ok := p.flows[msg.Flow]
+	if !ok || fl.myIdx < 0 {
+		return
+	}
+	if fl.got[msg.Interval] {
+		return
+	}
+	fl.got[msg.Interval] = true
+	delete(fl.got, msg.Interval-8)
+
+	if fl.myIdx == len(fl.path)-1 {
+		p.stats.Consumed++
+		p.stats.LatencySum += p.eng.Now() - fl.spec.releaseTime(msg.Interval)
+		if p.deliver != nil {
+			p.deliver(msg)
+		}
+		p.armReceive(fl, msg.Interval+1)
+		return
+	}
+	p.armReceive(fl, msg.Interval+1)
+	p.relay(fl, msg)
+}
+
+// relay forwards msg to the next hop at this node's slot, immediately if
+// the slot already passed.
+func (p *P2P) relay(fl *p2pFlow, msg *P2PMessage) {
+	next := fl.path[fl.myIdx+1]
+	sendAt := fl.slot(msg.Interval, fl.myIdx)
+	if now := p.eng.Now(); sendAt < now {
+		sendAt = now
+	}
+	if p.ss != nil {
+		p.ss.UpdateNextSend(fl.spec.ID, sendAt)
+	}
+	p.eng.Schedule(sendAt, func() {
+		p.env.SendData(next, msg, fl.spec.bytes(), func(ok bool) {
+			if ok {
+				p.stats.Relayed++
+			} else {
+				p.stats.RelayFailures++
+			}
+		})
+		if p.ss != nil {
+			p.ss.UpdateNextSend(fl.spec.ID, fl.slot(msg.Interval+1, fl.myIdx))
+		}
+	})
+}

@@ -1,0 +1,278 @@
+// Package core implements the paper's primary contribution: the ESSAT
+// power-management protocols. Each protocol pairs the Safe Sleep local
+// scheduler (§4.1) with a traffic shaper — NTS (§4.2.1), STS (§4.2.2) or
+// DTS (§4.2.3) — and includes the §4.3 maintenance mechanisms for packet
+// loss and topology changes.
+package core
+
+import (
+	"time"
+
+	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/sim"
+)
+
+// Env gives shapers and Safe Sleep access to the node context they need:
+// the clock, the node's place in the routing tree, and a control-message
+// path. The node package provides the implementation.
+type Env interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// Self returns this node's ID.
+	Self() query.NodeID
+	// IsRoot reports whether this node is the tree root.
+	IsRoot() bool
+	// Rank returns this node's current rank (max hops to a descendant).
+	Rank() int
+	// RankOf returns the current rank of another node (used by STS for
+	// per-child expected reception times).
+	RankOf(n query.NodeID) int
+	// MaxRank returns M, the rank of the root.
+	MaxRank() int
+	// SendControl transmits a small control message to a neighbor.
+	SendControl(dst query.NodeID, msg any, bytes int)
+	// RequestPhaseUpdate asks child to piggyback a phase update on its
+	// next report for q. Implementations piggyback the request on the
+	// acknowledgement of the report being processed when possible, and
+	// fall back to an explicit control packet (§4.3).
+	RequestPhaseUpdate(child query.NodeID, q query.ID)
+}
+
+// ControlBytes is the on-air size of ESSAT control messages (same as a
+// MAC acknowledgement frame).
+const ControlBytes = 14
+
+// PhaseRequest asks a child to piggyback a phase update on its next data
+// report (DTS resynchronization after detected packet loss, §4.3).
+type PhaseRequest struct {
+	Query query.ID
+}
+
+type recvKey struct {
+	q query.ID
+	c query.NodeID
+}
+
+// SleepStats counts Safe Sleep decisions.
+type SleepStats struct {
+	// Sleeps is the number of times the radio was put to sleep.
+	Sleeps uint64
+	// Suppressed counts free periods too short to sleep through
+	// (tsleep <= tBE), where SS kept the radio on.
+	Suppressed uint64
+}
+
+// SafeSleepOptions configures a SafeSleep scheduler.
+type SafeSleepOptions struct {
+	// BreakEven is tBE: SS sleeps only through free periods strictly
+	// longer than this. Negative means "use the radio's own break-even
+	// time". Note this is deliberately a parameter independent of the
+	// radio hardware so the paper's TBE sensitivity experiments (Fig. 8,
+	// Fig. 9) can sweep it.
+	BreakEven time.Duration
+	// WakeAhead is how long before the next expected event the radio is
+	// woken, normally tOFF→ON. Negative means "use the radio's turn-on
+	// delay".
+	WakeAhead time.Duration
+	// MACBusy reports whether the MAC still has unfinished work; SS never
+	// sleeps a node with pending traffic.
+	MACBusy func() bool
+	// Disabled turns SS into a no-op (always-on node): used for SPAN
+	// backbone nodes and as an ablation.
+	Disabled bool
+	// AwakeUntil keeps the radio on until the given time regardless of
+	// the schedule (the paper's query setup slot).
+	AwakeUntil time.Duration
+}
+
+// SafeSleep is the local sleep scheduler (§4.1, Fig. 1). It tracks, per
+// query, the expected reception time of the next data report from each
+// child (q.rnext(c)) and the expected send time of the node's next report
+// (q.snext), as maintained by the traffic shaper. Whenever the earliest
+// expected event is further away than the break-even time, the radio is
+// turned off and woken just in time.
+type SafeSleep struct {
+	eng   *sim.Engine
+	radio *radio.Radio
+	opts  SafeSleepOptions
+
+	nextSend map[query.ID]time.Duration
+	nextRecv map[recvKey]time.Duration
+
+	wakeEv *sim.Event
+	wakeAt time.Duration
+	stats  SleepStats
+}
+
+// NewSafeSleep creates a Safe Sleep scheduler driving the given radio.
+func NewSafeSleep(eng *sim.Engine, r *radio.Radio, opts SafeSleepOptions) *SafeSleep {
+	if opts.BreakEven < 0 {
+		opts.BreakEven = r.Config().BreakEven()
+	}
+	if opts.WakeAhead < 0 {
+		opts.WakeAhead = r.Config().TurnOnDelay
+	}
+	if opts.MACBusy == nil {
+		opts.MACBusy = func() bool { return false }
+	}
+	ss := &SafeSleep{
+		eng:      eng,
+		radio:    r,
+		opts:     opts,
+		nextSend: make(map[query.ID]time.Duration),
+		nextRecv: make(map[recvKey]time.Duration),
+	}
+	// Re-evaluate whenever the radio settles into Idle: after a wake-up
+	// (expectations may have vanished while asleep), after a transmission,
+	// and — critically — after overhearing a neighbor's frame addressed to
+	// someone else, which would otherwise leave the node awake until its
+	// next scheduled event.
+	r.Subscribe(func(old, new radio.State) {
+		if new == radio.Idle {
+			ss.CheckState()
+		}
+	})
+	return ss
+}
+
+// Stats returns a copy of the scheduler's counters.
+func (ss *SafeSleep) Stats() SleepStats { return ss.stats }
+
+// Disabled reports whether the scheduler is a no-op.
+func (ss *SafeSleep) Disabled() bool { return ss.opts.Disabled }
+
+// HoldAwake keeps the radio on until at least `until` (the paper's query
+// setup slot: "during the setup slot, all nodes keep their radio on").
+// The radio is woken immediately if asleep.
+func (ss *SafeSleep) HoldAwake(until time.Duration) {
+	if until <= ss.opts.AwakeUntil {
+		return
+	}
+	ss.opts.AwakeUntil = until
+	if ss.opts.Disabled {
+		return
+	}
+	ss.ensureAwake()
+	// Re-evaluate when the hold expires so the node can sleep again.
+	ss.eng.Schedule(until, ss.CheckState)
+}
+
+// UpdateNextSend records q.snext, the node's expected send time for query
+// q, and re-evaluates the sleep schedule (updateNextSend in Fig. 1).
+func (ss *SafeSleep) UpdateNextSend(q query.ID, t time.Duration) {
+	ss.nextSend[q] = t
+	ss.CheckState()
+}
+
+// UpdateNextReceive records q.rnext(c) for child c and re-evaluates
+// (updateNextReceive in Fig. 1).
+func (ss *SafeSleep) UpdateNextReceive(q query.ID, c query.NodeID, t time.Duration) {
+	ss.nextRecv[recvKey{q, c}] = t
+	ss.CheckState()
+}
+
+// RemoveChild forgets the expected reception time for (q, c): §4.3,
+// "the stale expected send and reception times of the failed node used
+// by SS are removed".
+func (ss *SafeSleep) RemoveChild(q query.ID, c query.NodeID) {
+	delete(ss.nextRecv, recvKey{q, c})
+	ss.CheckState()
+}
+
+// RemoveQuery forgets all state for q (query deregistration).
+func (ss *SafeSleep) RemoveQuery(q query.ID) {
+	delete(ss.nextSend, q)
+	for k := range ss.nextRecv {
+		if k.q == q {
+			delete(ss.nextRecv, k)
+		}
+	}
+	ss.CheckState()
+}
+
+// earliest returns the minimum expected event time, and false if no
+// events are expected at all.
+func (ss *SafeSleep) earliest() (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, t := range ss.nextSend {
+		if !found || t < min {
+			min, found = t, true
+		}
+	}
+	for _, t := range ss.nextRecv {
+		if !found || t < min {
+			min, found = t, true
+		}
+	}
+	return min, found
+}
+
+// CheckState implements checkState() from Fig. 1: compute twakeup, and if
+// the free period exceeds the break-even time, sleep until
+// twakeup − tOFF→ON.
+func (ss *SafeSleep) CheckState() {
+	if ss.opts.Disabled {
+		return
+	}
+	now := ss.eng.Now()
+	twakeup, any := ss.earliest()
+	if !any {
+		return // nothing scheduled; stay as-is (setup phase)
+	}
+	if twakeup <= now {
+		// Busy: a report is due to be sent or received. Make sure the
+		// radio is (coming) on.
+		ss.ensureAwake()
+		return
+	}
+	if now < ss.opts.AwakeUntil {
+		return // inside the setup slot: stay on
+	}
+	if ss.opts.MACBusy() {
+		return // unfinished MAC work (queued frames or an owed ACK)
+	}
+	switch ss.radio.State() {
+	case radio.Rx, radio.Tx:
+		return // mid-frame; re-evaluated when it completes
+	case radio.Off, radio.TurningOff:
+		// Already sleeping: just make sure the wake-up is early enough.
+		ss.scheduleWake(twakeup)
+		return
+	}
+	tsleep := twakeup - now
+	if tsleep <= ss.opts.BreakEven {
+		ss.stats.Suppressed++
+		return
+	}
+	ss.stats.Sleeps++
+	ss.radio.TurnOff()
+	ss.scheduleWake(twakeup)
+}
+
+func (ss *SafeSleep) ensureAwake() {
+	if ss.wakeEv != nil {
+		ss.wakeEv.Cancel()
+		ss.wakeEv = nil
+	}
+	ss.radio.TurnOn()
+}
+
+func (ss *SafeSleep) scheduleWake(twakeup time.Duration) {
+	at := twakeup - ss.opts.WakeAhead
+	if now := ss.eng.Now(); at < now {
+		at = now
+	}
+	if ss.wakeEv != nil {
+		if ss.wakeAt <= at {
+			return // existing wake-up is early enough
+		}
+		ss.wakeEv.Cancel()
+	}
+	ss.wakeAt = at
+	ss.wakeEv = ss.eng.Schedule(at, func() {
+		ss.wakeEv = nil
+		ss.radio.TurnOn()
+	})
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/sim"
+)
+
+func newSS(t *testing.T, radioCfg radio.Config, opts SafeSleepOptions) (*sim.Engine, *radio.Radio, *SafeSleep) {
+	t.Helper()
+	eng := sim.New(1)
+	r := radio.New(eng, radioCfg)
+	return eng, r, NewSafeSleep(eng, r, opts)
+}
+
+func TestSleepsUntilNextExpectedEvent(t *testing.T) {
+	cfg := radio.Config{TurnOnDelay: 2 * time.Millisecond, TurnOffDelay: time.Millisecond}
+	eng, r, ss := newSS(t, cfg, SafeSleepOptions{BreakEven: -1, WakeAhead: -1})
+
+	ss.UpdateNextSend(1, 100*time.Millisecond)
+	if r.State() != radio.TurningOff {
+		t.Fatalf("radio state = %v, want turning-off after a distant snext", r.State())
+	}
+	// Must be awake (idle) again exactly at the expected time.
+	eng.Run(100 * time.Millisecond)
+	if r.State() != radio.Idle {
+		t.Fatalf("radio state = %v at twakeup, want idle", r.State())
+	}
+	// Off period should have been 100ms - 1ms(off) - 2ms(on) = 97ms.
+	if got := r.TimeIn(radio.Off); got != 97*time.Millisecond {
+		t.Fatalf("TimeIn(Off) = %v, want 97ms", got)
+	}
+}
+
+func TestShortGapSuppressed(t *testing.T) {
+	cfg := radio.Config{TurnOnDelay: 2 * time.Millisecond, TurnOffDelay: time.Millisecond}
+	eng, r, ss := newSS(t, cfg, SafeSleepOptions{BreakEven: -1, WakeAhead: -1})
+
+	// Free for 2ms < tBE (3ms): stay awake.
+	ss.UpdateNextSend(1, eng.Now()+2*time.Millisecond)
+	if r.State() != radio.Idle {
+		t.Fatalf("radio state = %v, want idle (gap below break-even)", r.State())
+	}
+	if ss.Stats().Suppressed != 1 {
+		t.Fatalf("Suppressed = %d, want 1", ss.Stats().Suppressed)
+	}
+	if ss.Stats().Sleeps != 0 {
+		t.Fatalf("Sleeps = %d, want 0", ss.Stats().Sleeps)
+	}
+}
+
+func TestBusyWhenExpectedTimeInPast(t *testing.T) {
+	eng, r, ss := newSS(t, radio.Config{}, SafeSleepOptions{})
+	eng.Run(50 * time.Millisecond)
+	ss.UpdateNextReceive(1, 7, 10*time.Millisecond) // already past
+	if r.State() != radio.Idle {
+		t.Fatalf("radio state = %v, want idle (busy: overdue reception)", r.State())
+	}
+	// Even far-future snext must not allow sleep while a reception is due.
+	ss.UpdateNextSend(1, time.Second)
+	if r.State() != radio.Idle {
+		t.Fatal("node slept despite an overdue expected reception")
+	}
+}
+
+func TestEarliestOfSendAndReceiveWins(t *testing.T) {
+	cfg := radio.Config{TurnOnDelay: 2 * time.Millisecond, TurnOffDelay: time.Millisecond}
+	eng, r, ss := newSS(t, cfg, SafeSleepOptions{BreakEven: -1, WakeAhead: -1})
+	ss.UpdateNextSend(1, 500*time.Millisecond)
+	ss.UpdateNextReceive(1, 3, 100*time.Millisecond)
+	eng.Run(98 * time.Millisecond)
+	if r.State() != radio.Idle && r.State() != radio.TurningOn {
+		t.Fatalf("radio state = %v at twakeup-2ms, want waking", r.State())
+	}
+	eng.Run(100 * time.Millisecond)
+	if r.State() != radio.Idle {
+		t.Fatalf("radio state = %v at earliest event, want idle", r.State())
+	}
+}
+
+func TestMACBusyBlocksSleep(t *testing.T) {
+	busy := true
+	eng, r, ss := newSS(t, radio.Config{}, SafeSleepOptions{
+		MACBusy: func() bool { return busy },
+	})
+	ss.UpdateNextSend(1, 500*time.Millisecond)
+	if r.State() != radio.Idle {
+		t.Fatal("node slept while MAC busy")
+	}
+	busy = false
+	ss.CheckState() // the MAC idle callback path
+	if r.State() == radio.Idle {
+		t.Fatal("node still awake after MAC drained")
+	}
+	_ = eng
+}
+
+func TestDisabledNeverSleeps(t *testing.T) {
+	eng, r, ss := newSS(t, radio.Config{}, SafeSleepOptions{Disabled: true})
+	ss.UpdateNextSend(1, time.Second)
+	eng.Run(500 * time.Millisecond)
+	if r.State() != radio.Idle {
+		t.Fatalf("disabled SS changed radio state to %v", r.State())
+	}
+	if !ss.Disabled() {
+		t.Fatal("Disabled() = false")
+	}
+}
+
+func TestSetupSlotKeepsRadioOn(t *testing.T) {
+	eng, r, ss := newSS(t, radio.Config{}, SafeSleepOptions{AwakeUntil: 100 * time.Millisecond})
+	ss.UpdateNextSend(1, time.Second)
+	if r.State() != radio.Idle {
+		t.Fatal("node slept inside the setup slot")
+	}
+	eng.Run(150 * time.Millisecond)
+	ss.CheckState()
+	if r.State() == radio.Idle {
+		t.Fatal("node failed to sleep after the setup slot ended")
+	}
+}
+
+func TestRemoveChildUnblocksSleep(t *testing.T) {
+	eng, r, ss := newSS(t, radio.Config{}, SafeSleepOptions{})
+	eng.Run(50 * time.Millisecond)
+	ss.UpdateNextReceive(1, 5, 10*time.Millisecond) // overdue → busy
+	ss.UpdateNextSend(1, time.Second)
+	if r.State() != radio.Idle {
+		t.Fatal("precondition: node should be awake")
+	}
+	// §4.3: removing the failed child's stale expected time lets the node
+	// sleep again.
+	ss.RemoveChild(1, 5)
+	if r.State() == radio.Idle {
+		t.Fatal("node still awake after stale child removal")
+	}
+}
+
+func TestRemoveQueryClearsAllState(t *testing.T) {
+	eng, r, ss := newSS(t, radio.Config{}, SafeSleepOptions{})
+	eng.Run(50 * time.Millisecond)
+	ss.UpdateNextReceive(1, 5, 10*time.Millisecond)
+	ss.UpdateNextReceive(1, 6, 20*time.Millisecond)
+	ss.UpdateNextSend(1, 30*time.Millisecond)
+	ss.UpdateNextSend(2, time.Second)
+	ss.RemoveQuery(1)
+	// Only query 2 remains, with a future snext: the node can sleep.
+	if r.State() == radio.Idle {
+		t.Fatal("node awake despite only a distant expectation remaining")
+	}
+}
+
+func TestWakeRescheduledWhenEarlierEventAppears(t *testing.T) {
+	cfg := radio.Config{}
+	eng, r, ss := newSS(t, cfg, SafeSleepOptions{})
+	ss.UpdateNextSend(1, time.Second)
+	if r.State() != radio.Off {
+		t.Fatalf("radio state = %v, want off", r.State())
+	}
+	// A new earlier expectation (e.g. a re-parented child) must pull the
+	// wake-up forward.
+	ss.UpdateNextReceive(1, 9, 200*time.Millisecond)
+	eng.Run(200 * time.Millisecond)
+	if r.State() != radio.Idle {
+		t.Fatalf("radio state = %v at the earlier event, want idle", r.State())
+	}
+	if got := r.TimeIn(radio.Off); got != 200*time.Millisecond {
+		t.Fatalf("TimeIn(Off) = %v, want exactly 200ms", got)
+	}
+}
+
+func TestNoExpectationsNoAction(t *testing.T) {
+	eng, r, ss := newSS(t, radio.Config{}, SafeSleepOptions{})
+	ss.CheckState()
+	eng.Run(100 * time.Millisecond)
+	if r.State() != radio.Idle {
+		t.Fatalf("radio state = %v with no expectations, want idle", r.State())
+	}
+}
+
+func TestReSleepAfterReceptionEnds(t *testing.T) {
+	eng, r, ss := newSS(t, radio.Config{}, SafeSleepOptions{})
+	// Expect a reception at 100ms: sleep until then.
+	ss.UpdateNextReceive(1, 3, 100*time.Millisecond)
+	if r.State() != radio.Off {
+		t.Fatal("precondition: sleeping until the expected reception")
+	}
+	// The frame arrives at 100ms and lasts 2ms. Mid-reception, the shaper
+	// advances rnext into the future (as it does from ReportReceived);
+	// CheckState must defer while the radio is in Rx, then the Rx→Idle
+	// transition re-evaluates and puts the node back to sleep.
+	eng.Schedule(100*time.Millisecond, func() { r.BeginRx() })
+	eng.Schedule(101*time.Millisecond, func() { ss.UpdateNextReceive(1, 3, time.Second) })
+	eng.Schedule(102*time.Millisecond, func() { r.EndRx() })
+	eng.Run(103 * time.Millisecond)
+	if r.State() == radio.Idle {
+		t.Fatal("node stayed awake after the reception completed")
+	}
+	eng.Run(time.Second)
+	if r.State() != radio.Idle {
+		t.Fatalf("radio state = %v at the next expected event, want idle", r.State())
+	}
+}
+
+func TestBreakEvenZeroSleepsThroughTinyGaps(t *testing.T) {
+	eng, r, ss := newSS(t, radio.Config{}, SafeSleepOptions{BreakEven: 0})
+	r.RecordSleepIntervals()
+	ss.UpdateNextSend(1, eng.Now()+time.Millisecond)
+	eng.Run(time.Millisecond)
+	if got := len(r.SleepIntervals()); got != 1 {
+		t.Fatalf("recorded %d sleep intervals, want 1 (TBE=0 sleeps any gap)", got)
+	}
+	if r.SleepIntervals()[0] != time.Millisecond {
+		t.Fatalf("sleep interval = %v, want 1ms", r.SleepIntervals()[0])
+	}
+}
+
+func TestDefaultsDeriveFromRadio(t *testing.T) {
+	cfg := radio.Mica2Config()
+	_, _, ss := newSS(t, cfg, SafeSleepOptions{BreakEven: -1, WakeAhead: -1})
+	if ss.opts.BreakEven != cfg.BreakEven() {
+		t.Fatalf("BreakEven = %v, want %v", ss.opts.BreakEven, cfg.BreakEven())
+	}
+	if ss.opts.WakeAhead != cfg.TurnOnDelay {
+		t.Fatalf("WakeAhead = %v, want %v", ss.opts.WakeAhead, cfg.TurnOnDelay)
+	}
+}
+
+// TestSleepAccountingMatchesSchedule drives a periodic send/receive
+// pattern and checks the radio sleeps through every free window.
+func TestSleepAccountingMatchesSchedule(t *testing.T) {
+	eng, r, ss := newSS(t, radio.Config{}, SafeSleepOptions{})
+	period := 100 * time.Millisecond
+	const intervals = 10
+	var q query.ID = 1
+	// Simulate: at each period boundary the node "receives" (instant) and
+	// re-arms for the next period.
+	var arm func(k int)
+	arm = func(k int) {
+		if k >= intervals {
+			return
+		}
+		at := time.Duration(k) * period
+		ss.UpdateNextReceive(q, 2, at)
+		eng.Schedule(at, func() {
+			ss.UpdateNextReceive(q, 2, at+period)
+			arm(k + 1)
+		})
+	}
+	arm(1)
+	eng.Run(time.Duration(intervals) * period)
+	// With zero-cost transitions, the node should be off essentially the
+	// whole time (awake only at the instant boundaries).
+	duty := r.DutyCycle()
+	if duty > 0.01 {
+		t.Fatalf("duty cycle = %.3f, want ~0 with instantaneous events", duty)
+	}
+}

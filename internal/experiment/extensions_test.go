@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/essat/essat/internal/core"
+	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/topology"
+)
+
+func extScenario(seed int64) Scenario {
+	sc := DefaultScenario(DTSSS, seed)
+	sc.Topology = topology.Config{NumNodes: 40, AreaSide: 400, Range: 125}
+	sc.Duration = 30 * time.Second
+	sc.MeasureFrom = 5 * time.Second
+	rng := rand.New(rand.NewSource(seed * 31))
+	sc.Queries = QueryClasses(rng, 1.0, 1, 5*time.Second)
+	return sc
+}
+
+func TestDisseminationThroughScenario(t *testing.T) {
+	sc := extScenario(1)
+	sc.Dissemination = []core.DisseminationSpec{{
+		ID:     -1,
+		Period: 2 * time.Second,
+		Phase:  6 * time.Second,
+	}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DisseminationDelivery < 0.95 {
+		t.Fatalf("dissemination delivery = %.3f, want ≥ 0.95", res.DisseminationDelivery)
+	}
+	if res.DisseminationLatency <= 0 || res.DisseminationLatency > time.Second {
+		t.Fatalf("dissemination latency = %v, implausible", res.DisseminationLatency)
+	}
+}
+
+func TestDisseminationIDCollisionRejected(t *testing.T) {
+	sc := extScenario(2)
+	sc.Dissemination = []core.DisseminationSpec{{
+		ID:     sc.Queries[0].ID, // collides
+		Period: time.Second,
+	}}
+	if _, err := Run(sc); err == nil {
+		t.Fatal("ID collision between query and dissemination accepted")
+	}
+}
+
+func TestPeerFlowsThroughScenario(t *testing.T) {
+	sc := extScenario(3)
+	for i := 0; i < 3; i++ {
+		sc.PeerFlows = append(sc.PeerFlows, core.P2PSpec{
+			ID:     query.ID(-(i + 1)),
+			Src:    -1,
+			Dst:    -1,
+			Period: time.Second,
+			Phase:  6 * time.Second,
+		})
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P2PDelivery < 0.85 {
+		t.Fatalf("p2p delivery = %.3f, want ≥ 0.85", res.P2PDelivery)
+	}
+	if res.P2PLatency <= 0 || res.P2PLatency > time.Second {
+		t.Fatalf("p2p latency = %v, implausible", res.P2PLatency)
+	}
+}
+
+func TestPeerFlowRandomEndpointsAreDistinctMembers(t *testing.T) {
+	sc := extScenario(4)
+	sc.PeerFlows = []core.P2PSpec{{ID: -1, Src: -1, Dst: -1, Period: time.Second, Phase: 6 * time.Second}}
+	if _, err := Run(sc); err != nil {
+		t.Fatal(err)
+	}
+	fl := sc.PeerFlows[0]
+	if fl.Src < 0 || fl.Dst < 0 || fl.Src == fl.Dst {
+		t.Fatalf("random endpoints not resolved: %d→%d", fl.Src, fl.Dst)
+	}
+}
+
+func TestExtensionsCoexistWithFailures(t *testing.T) {
+	sc := extScenario(5)
+	sc.QueryCfg.FailureThreshold = 3
+	sc.Failures = []Failure{{At: 12 * time.Second, Node: -1}}
+	sc.Dissemination = []core.DisseminationSpec{{ID: -1, Period: 2 * time.Second, Phase: 6 * time.Second}}
+	sc.PeerFlows = []core.P2PSpec{{ID: -2, Src: -1, Dst: -1, Period: time.Second, Phase: 6 * time.Second}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run completes and queries still flow; extension flows may lose
+	// messages if the victim was on their path, which is fine.
+	if res.Latency.N == 0 {
+		t.Fatal("no query results with extensions + failure")
+	}
+}

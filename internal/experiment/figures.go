@@ -1,0 +1,516 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/essat/essat/internal/stats"
+)
+
+// Options scales the figure drivers: the paper uses 200-second runs with
+// 5 seeds per point; scaled-down settings keep benchmarks fast.
+type Options struct {
+	// Duration of each run (paper: 200 s).
+	Duration time.Duration
+	// Seeds per data point (paper: 5; node placement and query phases
+	// vary per seed).
+	Seeds int
+	// Nodes in the deployment (paper: 80).
+	Nodes int
+	// Parallelism bounds concurrent runs; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// PaperOptions reproduces the paper's full experimental setting.
+func PaperOptions() Options {
+	return Options{Duration: 200 * time.Second, Seeds: 5, Nodes: 80}
+}
+
+// QuickOptions is a scaled-down setting for tests and benchmarks: same
+// topology scale, shorter runs, fewer seeds.
+func QuickOptions() Options {
+	return Options{Duration: 40 * time.Second, Seeds: 2, Nodes: 80}
+}
+
+func (o Options) normalized() Options {
+	if o.Duration <= 0 {
+		o.Duration = 40 * time.Second
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 2
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 80
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Point is one aggregated data point of a figure series: the mean of a
+// metric over seeds with its 90% confidence half-width.
+type Point struct {
+	X    float64
+	Mean float64
+	CI90 float64
+	N    int
+}
+
+// Series is a named sequence of points (one line in a figure).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced table/figure: a set of series over a labeled
+// x-axis, ready to print.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carries reproduction caveats surfaced by the driver.
+	Notes []string
+}
+
+// Fprint renders the figure as an aligned text table, one row per x value.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(w, "   (y = %s, mean ± 90%% CI over seeds)\n", f.YLabel)
+	fmt.Fprintf(w, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " %22s", s.Name)
+	}
+	fmt.Fprintln(w)
+
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	for _, x := range sorted {
+		fmt.Fprintf(w, "%-12.3g", x)
+		for _, s := range f.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%10.3f ±%8.3f", p.Mean, p.CI90)
+					break
+				}
+			}
+			fmt.Fprintf(w, " %22s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+}
+
+// runSeeds executes build(seed) for each seed in parallel and aggregates
+// metric(result) into a Point at x.
+func runSeeds(o Options, x float64, build func(seed int64) Scenario, metric func(*Result) float64) (Point, error) {
+	results := make([]*Result, o.Seeds)
+	errs := make([]error, o.Seeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Parallelism)
+	for i := 0; i < o.Seeds; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(build(int64(i + 1)))
+		}()
+	}
+	wg.Wait()
+	var w stats.Welford
+	for i := range results {
+		if errs[i] != nil {
+			return Point{}, errs[i]
+		}
+		w.Add(metric(results[i]))
+	}
+	return Point{X: x, Mean: w.Mean(), CI90: w.CI90(), N: w.N()}, nil
+}
+
+func (o Options) scenario(p Protocol, seed int64) Scenario {
+	sc := DefaultScenario(p, seed)
+	sc.Duration = o.Duration
+	sc.Topology.NumNodes = o.Nodes
+	if sc.MeasureFrom >= sc.Duration {
+		sc.MeasureFrom = sc.Duration / 5
+	}
+	return sc
+}
+
+// Fig2Deadline reproduces Figure 2: the impact of the STS query deadline
+// on STS-SS duty cycle and query latency, with three queries running.
+// The paper observes a knee near D ≈ 0.12 s: below it latency is flat
+// while duty falls; above it latency grows linearly with no duty gain.
+func Fig2Deadline(o Options, deadlines []time.Duration) (*Figure, error) {
+	o = o.normalized()
+	if len(deadlines) == 0 {
+		for d := 50 * time.Millisecond; d <= 800*time.Millisecond; d += 75 * time.Millisecond {
+			deadlines = append(deadlines, d)
+		}
+	}
+	const baseRate = 1.0
+	duty := Series{Name: "duty cycle (%)"}
+	lat := Series{Name: "query latency (s)"}
+	for _, d := range deadlines {
+		d := d
+		var dw, lw stats.Welford
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			sc := o.scenario(STSSS, seed)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			sc.Queries = QueryClasses(rng, baseRate, 1, 10*time.Second)
+			sc.STSDeadline = d
+			res, err := Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			dw.Add(res.DutyCycle * 100)
+			lw.Add(res.Latency.Mean.Seconds())
+		}
+		x := d.Seconds()
+		duty.Points = append(duty.Points, Point{X: x, Mean: dw.Mean(), CI90: dw.CI90(), N: dw.N()})
+		lat.Points = append(lat.Points, Point{X: x, Mean: lw.Mean(), CI90: lw.CI90(), N: lw.N()})
+	}
+	return &Figure{
+		ID:     "fig2",
+		Title:  "Impact of query deadline on duty cycle and query latency of STS-SS",
+		XLabel: "deadline (s)",
+		YLabel: "duty cycle (%) / latency (s)",
+		Series: []Series{duty, lat},
+	}, nil
+}
+
+// protocolSweep runs every protocol across x values produced by build.
+func protocolSweep(o Options, protos []Protocol, xs []float64,
+	build func(p Protocol, x float64, seed int64) Scenario,
+	metric func(*Result) float64) ([]Series, error) {
+
+	var out []Series
+	for _, p := range protos {
+		s := Series{Name: string(p)}
+		for _, x := range xs {
+			p, x := p, x
+			pt, err := runSeeds(o, x, func(seed int64) Scenario { return build(p, x, seed) }, metric)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, pt)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// dutyProtocols are the protocols of Figures 3 and 4 (SYNC is omitted
+// from the duty figures as in the paper: it is 20% by construction).
+var dutyProtocols = []Protocol{DTSSS, STSSS, NTSSS, PSM, SPAN}
+
+// Fig3DutyVsRate reproduces Figure 3: average duty cycle for three query
+// classes as the base rate varies from 1 to 5 Hz.
+func Fig3DutyVsRate(o Options, rates []float64) (*Figure, error) {
+	o = o.normalized()
+	if len(rates) == 0 {
+		rates = []float64{1, 2, 3, 4, 5}
+	}
+	series, err := protocolSweep(o, dutyProtocols, rates,
+		func(p Protocol, rate float64, seed int64) Scenario {
+			sc := o.scenario(p, seed)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			sc.Queries = QueryClasses(rng, rate, 1, 10*time.Second)
+			return sc
+		},
+		func(r *Result) float64 { return r.DutyCycle * 100 })
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "fig3",
+		Title:  "Average duty cycle for three query classes when varying base rate",
+		XLabel: "base rate (Hz)",
+		YLabel: "duty cycle (%)",
+		Series: series,
+		Notes:  []string{"SYNC is fixed at 20% duty by construction and omitted, as in the paper"},
+	}, nil
+}
+
+// Fig4DutyVsQueries reproduces Figure 4: average duty cycle at a fixed
+// 0.2 Hz base rate as the number of queries per class grows.
+func Fig4DutyVsQueries(o Options, counts []int) (*Figure, error) {
+	o = o.normalized()
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 6, 8, 10}
+	}
+	xs := make([]float64, len(counts))
+	for i, c := range counts {
+		xs[i] = float64(c)
+	}
+	series, err := protocolSweep(o, dutyProtocols, xs,
+		func(p Protocol, x float64, seed int64) Scenario {
+			sc := o.scenario(p, seed)
+			rng := rand.New(rand.NewSource(seed * 104729))
+			sc.Queries = QueryClasses(rng, 0.2, int(x), 10*time.Second)
+			return sc
+		},
+		func(r *Result) float64 { return r.DutyCycle * 100 })
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "fig4",
+		Title:  "Average duty cycle for three query classes when varying number of queries per class",
+		XLabel: "queries/class",
+		YLabel: "duty cycle (%)",
+		Series: series,
+	}, nil
+}
+
+// Fig5DutyByRank reproduces Figure 5: the distribution of duty cycles
+// across tree ranks for the three ESSAT protocols at a 5 Hz base rate.
+// NTS-SS grows linearly with rank (Eq. 1); STS-SS and DTS-SS stay flat.
+func Fig5DutyByRank(o Options) (*Figure, error) {
+	o = o.normalized()
+	protos := []Protocol{DTSSS, STSSS, NTSSS}
+	var out []Series
+	for _, p := range protos {
+		p := p
+		byRank := make(map[int]*stats.Welford)
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			sc := o.scenario(p, seed)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			sc.Queries = QueryClasses(rng, 5, 1, 10*time.Second)
+			res, err := Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			for r, d := range res.DutyByRank {
+				if byRank[r] == nil {
+					byRank[r] = &stats.Welford{}
+				}
+				byRank[r].Add(d * 100)
+			}
+		}
+		s := Series{Name: string(p)}
+		ranks := make([]int, 0, len(byRank))
+		for r := range byRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			s.Points = append(s.Points, Point{
+				X: float64(r), Mean: byRank[r].Mean(), CI90: byRank[r].CI90(), N: byRank[r].N(),
+			})
+		}
+		out = append(out, s)
+	}
+	return &Figure{
+		ID:     "fig5",
+		Title:  "Distribution of duty cycles at different ranks (base rate 5 Hz)",
+		XLabel: "rank (0=leaf)",
+		YLabel: "duty cycle (%)",
+		Series: out,
+	}, nil
+}
+
+// latencyProtocols are the protocols of Figures 6 and 7.
+var latencyProtocols = []Protocol{DTSSS, STSSS, NTSSS, PSM, SPAN, SYNC}
+
+// Fig6LatencyVsRate reproduces Figure 6: average query latency as the
+// base rate varies (the paper plots it on a log scale).
+func Fig6LatencyVsRate(o Options, rates []float64) (*Figure, error) {
+	o = o.normalized()
+	if len(rates) == 0 {
+		rates = []float64{1, 2, 3, 4, 5}
+	}
+	series, err := protocolSweep(o, latencyProtocols, rates,
+		func(p Protocol, rate float64, seed int64) Scenario {
+			sc := o.scenario(p, seed)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			sc.Queries = QueryClasses(rng, rate, 1, 10*time.Second)
+			return sc
+		},
+		func(r *Result) float64 { return r.Latency.Mean.Seconds() })
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "fig6",
+		Title:  "Query latency for three query classes when varying base rate",
+		XLabel: "base rate (Hz)",
+		YLabel: "query latency (s)",
+		Series: series,
+		Notes:  []string{"SYNC saturates at high rates (queueing): latencies grow with run length"},
+	}, nil
+}
+
+// Fig7LatencyVsQueries reproduces Figure 7: average query latency at a
+// 0.2 Hz base rate as the number of queries per class grows.
+func Fig7LatencyVsQueries(o Options, counts []int) (*Figure, error) {
+	o = o.normalized()
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 6, 8, 10}
+	}
+	xs := make([]float64, len(counts))
+	for i, c := range counts {
+		xs[i] = float64(c)
+	}
+	series, err := protocolSweep(o, latencyProtocols, xs,
+		func(p Protocol, x float64, seed int64) Scenario {
+			sc := o.scenario(p, seed)
+			rng := rand.New(rand.NewSource(seed * 104729))
+			sc.Queries = QueryClasses(rng, 0.2, int(x), 10*time.Second)
+			return sc
+		},
+		func(r *Result) float64 { return r.Latency.Mean.Seconds() })
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "fig7",
+		Title:  "Query latency for three query classes when varying the number of queries per class",
+		XLabel: "queries/class",
+		YLabel: "query latency (s)",
+		Series: series,
+	}, nil
+}
+
+// Fig8SleepHistogram reproduces Figure 8: the histogram of sleep-interval
+// lengths with TBE = 0 for the three ESSAT protocols, in 25 ms bins up to
+// 200 ms. The paper reads off the fraction of intervals shorter than the
+// MICA2 break-even time (2.5 ms): 0.40% for NTS-SS, 0.85% for STS-SS and
+// 6.33% for DTS-SS.
+func Fig8SleepHistogram(o Options) (*Figure, []float64, error) {
+	o = o.normalized()
+	protos := []Protocol{DTSSS, STSSS, NTSSS}
+	var out []Series
+	var below25 []float64
+	for _, p := range protos {
+		hist := stats.NewHistogram(25*time.Millisecond, 8)
+		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
+			sc := o.scenario(p, seed)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			sc.Queries = QueryClasses(rng, 5, 1, 10*time.Second)
+			sc.SSBreakEven = 0
+			sc.RadioCfg.TurnOnDelay = 0
+			sc.RadioCfg.TurnOffDelay = 0
+			sc.RecordSleepIntervals = true
+			res, err := Run(sc)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, d := range res.SleepIntervals {
+				hist.Add(d)
+			}
+		}
+		s := Series{Name: string(p)}
+		for i, c := range hist.Counts() {
+			s.Points = append(s.Points, Point{
+				X:    (time.Duration(i+1) * hist.BinWidth()).Seconds() * 1000,
+				Mean: float64(c),
+				N:    int(hist.Total()),
+			})
+		}
+		out = append(out, s)
+		below25 = append(below25, hist.FractionBelow(2500*time.Microsecond)*100)
+	}
+	fig := &Figure{
+		ID:     "fig8",
+		Title:  "Histogram of sleep intervals (TBE=0, base rate 5 Hz)",
+		XLabel: "sleep length (ms)",
+		YLabel: "count per 25 ms bin",
+		Series: out,
+		Notes: []string{fmt.Sprintf("%% of sleeps < 2.5 ms: DTS-SS=%.2f%% STS-SS=%.2f%% NTS-SS=%.2f%% (paper: 6.33 / 0.85 / 0.40)",
+			below25[0], below25[1], below25[2])},
+	}
+	return fig, below25, nil
+}
+
+// Fig9BreakEven reproduces Figure 9: DTS-SS duty cycle versus base rate
+// for Safe Sleep break-even times of 0, 2.5, 10 and 40 ms (the figure's
+// caption says STS-SS but the surrounding text analyzes DTS-SS, the
+// protocol most sensitive to TBE; the driver follows the text).
+func Fig9BreakEven(o Options, rates []float64) (*Figure, error) {
+	o = o.normalized()
+	if len(rates) == 0 {
+		rates = []float64{1, 2, 3, 4, 5}
+	}
+	tbes := []time.Duration{0, 2500 * time.Microsecond, 10 * time.Millisecond, 40 * time.Millisecond}
+	var out []Series
+	for _, tbe := range tbes {
+		tbe := tbe
+		s := Series{Name: fmt.Sprintf("TBE=%v", tbe)}
+		for _, rate := range rates {
+			rate := rate
+			pt, err := runSeeds(o, rate, func(seed int64) Scenario {
+				sc := o.scenario(DTSSS, seed)
+				rng := rand.New(rand.NewSource(seed * 7919))
+				sc.Queries = QueryClasses(rng, rate, 1, 10*time.Second)
+				sc.SSBreakEven = tbe
+				return sc
+			}, func(r *Result) float64 { return r.DutyCycle * 100 })
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, pt)
+		}
+		out = append(out, s)
+	}
+	return &Figure{
+		ID:     "fig9",
+		Title:  "Impact of break-even time on DTS-SS duty cycle",
+		XLabel: "base rate (Hz)",
+		YLabel: "duty cycle (%)",
+		Series: out,
+	}, nil
+}
+
+// OverheadPhaseUpdates reproduces the §4.2.3 measurement: DTS's phase-
+// update overhead in piggybacked bits per data report across query rates
+// (the paper reports less than one bit per report).
+func OverheadPhaseUpdates(o Options, rates []float64) (*Figure, error) {
+	o = o.normalized()
+	if len(rates) == 0 {
+		rates = []float64{1, 2, 3, 4, 5}
+	}
+	s := Series{Name: "DTS-SS phase bits/report"}
+	for _, rate := range rates {
+		rate := rate
+		pt, err := runSeeds(o, rate, func(seed int64) Scenario {
+			sc := o.scenario(DTSSS, seed)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			sc.Queries = QueryClasses(rng, rate, 1, 10*time.Second)
+			return sc
+		}, func(r *Result) float64 { return r.PhaseUpdateBitsPerReport })
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, pt)
+	}
+	return &Figure{
+		ID:     "overhead",
+		Title:  "DTS phase-update overhead (§4.2.3; paper: <1 bit per data report)",
+		XLabel: "base rate (Hz)",
+		YLabel: "piggybacked bits per data report",
+		Series: []Series{s},
+	}, nil
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/essat/essat/internal/topology"
+)
+
+func TestFigureFprint(t *testing.T) {
+	f := &Figure{
+		ID:     "test",
+		Title:  "A test figure",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Mean: 10, CI90: 0.5, N: 3}, {X: 2, Mean: 20, CI90: 1, N: 3}}},
+			{Name: "b", Points: []Point{{X: 2, Mean: 5, CI90: 0.1, N: 3}}},
+		},
+		Notes: []string{"a note"},
+	}
+	var sb strings.Builder
+	f.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"test", "A test figure", "a note", "10.000", "20.000", "5.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Row for x=1 must leave series b's cell empty, not misaligned.
+	lines := strings.Split(out, "\n")
+	var x1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1") {
+			x1 = l
+		}
+	}
+	if strings.Contains(x1, "5.000") {
+		t.Errorf("x=1 row contains series b's x=2 value: %q", x1)
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Duration <= 0 || o.Seeds <= 0 || o.Nodes <= 0 || o.Parallelism <= 0 {
+		t.Fatalf("normalized zero options invalid: %+v", o)
+	}
+	p := PaperOptions()
+	if p.Duration != 200*time.Second || p.Seeds != 5 || p.Nodes != 80 {
+		t.Fatalf("PaperOptions = %+v", p)
+	}
+}
+
+func TestRunSeedsParallelAggregation(t *testing.T) {
+	o := Options{Duration: 6 * time.Second, Seeds: 3, Nodes: 25, Parallelism: 3}.normalized()
+	pt, err := runSeeds(o, 42, func(seed int64) Scenario {
+		sc := DefaultScenario(DTSSS, seed)
+		sc.Topology = topology.Config{NumNodes: o.Nodes, AreaSide: 300, Range: 125}
+		sc.Duration = o.Duration
+		sc.MeasureFrom = time.Second
+		rng := rand.New(rand.NewSource(seed))
+		sc.Queries = QueryClasses(rng, 1, 1, time.Second)
+		return sc
+	}, func(r *Result) float64 { return r.DutyCycle })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.X != 42 || pt.N != 3 {
+		t.Fatalf("point = %+v", pt)
+	}
+	if pt.Mean <= 0 || pt.Mean > 1 {
+		t.Fatalf("mean duty = %v", pt.Mean)
+	}
+}
+
+func TestDisableSafeSleepAblation(t *testing.T) {
+	sc := DefaultScenario(DTSSS, 1)
+	sc.Topology = topology.Config{NumNodes: 30, AreaSide: 350, Range: 125}
+	sc.Duration = 15 * time.Second
+	sc.MeasureFrom = 3 * time.Second
+	rng := rand.New(rand.NewSource(5))
+	sc.Queries = QueryClasses(rng, 1, 1, 3*time.Second)
+	sc.DisableSafeSleep = true
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shaping without sleeping: radios stay on the whole time.
+	if res.DutyCycle < 0.99 {
+		t.Fatalf("duty = %.3f with Safe Sleep disabled, want ~1.0", res.DutyCycle)
+	}
+	// But latency is unaffected (still shaped, still delivered).
+	if res.Latency.N == 0 || res.Latency.Mean > time.Second {
+		t.Fatalf("latency broken without SS: %+v", res.Latency)
+	}
+}
+
+func TestBFSTreeScenario(t *testing.T) {
+	sc := DefaultScenario(STSSS, 1)
+	sc.Topology = topology.Config{NumNodes: 30, AreaSide: 350, Range: 125}
+	sc.Duration = 15 * time.Second
+	sc.MeasureFrom = 3 * time.Second
+	sc.BFSTree = true
+	rng := rand.New(rand.NewSource(5))
+	sc.Queries = QueryClasses(rng, 1, 1, 3*time.Second)
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.N == 0 {
+		t.Fatal("BFS-tree scenario produced no results")
+	}
+}

@@ -1,0 +1,756 @@
+// Package experiment builds and runs the paper's evaluation scenarios
+// (§5): 80 nodes in 500×500 m², three query classes with rate ratio
+// 6:3:2, five protocols, 200-second runs — and provides one driver per
+// figure of the paper plus the ablation studies from DESIGN.md.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/essat/essat/internal/baseline"
+	"github.com/essat/essat/internal/core"
+	"github.com/essat/essat/internal/mac"
+	"github.com/essat/essat/internal/node"
+	"github.com/essat/essat/internal/phy"
+	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/routing"
+	"github.com/essat/essat/internal/sim"
+	"github.com/essat/essat/internal/stats"
+	"github.com/essat/essat/internal/topology"
+	"github.com/essat/essat/internal/trace"
+)
+
+// Protocol selects the power-management protocol under test.
+type Protocol string
+
+// The five protocols of the paper's evaluation plus SYNC, plus T-MAC
+// from the paper's related-work discussion (§2, reference [12]).
+const (
+	NTSSS Protocol = "NTS-SS"
+	STSSS Protocol = "STS-SS"
+	DTSSS Protocol = "DTS-SS"
+	SPAN  Protocol = "SPAN"
+	PSM   Protocol = "PSM"
+	SYNC  Protocol = "SYNC"
+	TMAC  Protocol = "TMAC"
+)
+
+// AllProtocols lists every implemented protocol in presentation order.
+// (TMAC is excluded from the paper's figures, which predate it in this
+// harness, but participates in smoke tests and examples.)
+var AllProtocols = []Protocol{DTSSS, STSSS, NTSSS, PSM, SPAN, SYNC, TMAC}
+
+// QueryStop deregisters a query at a given time, shrinking the workload.
+type QueryStop struct {
+	At    time.Duration
+	Query query.ID
+}
+
+// setupAnnounce is the flooded in-band query setup request (energy and
+// contention realism only; registration itself is direct).
+type setupAnnounce struct {
+	Query query.ID
+}
+
+// Failure kills a node at a given time (§4.3 robustness experiments).
+type Failure struct {
+	// At is when the node dies.
+	At time.Duration
+	// Node selects the victim. Negative means "a random live non-root,
+	// non-leaf member", the interesting case for recovery.
+	Node node.NodeID
+}
+
+// Scenario fully describes one simulation run.
+type Scenario struct {
+	Protocol Protocol
+	Seed     int64
+
+	// Topology: the paper uses 80 nodes, 500×500 m², 125 m range, tree
+	// limited to 300 m around the central root.
+	Topology    topology.Config
+	TreeMaxDist float64
+	// BFSTree selects idealized min-hop tree construction instead of the
+	// default simulated setup flood (§5: the root floods a setup request;
+	// contention makes flood trees deeper and less regular).
+	BFSTree bool
+
+	// Queries registered at every tree node before the run.
+	Queries []query.Spec
+
+	// Duration of the run; metrics are measured from MeasureFrom.
+	Duration    time.Duration
+	MeasureFrom time.Duration
+
+	// Radio hardware and SS parameters.
+	RadioCfg radio.Config
+	// SSBreakEven is the Safe Sleep tBE parameter; negative selects the
+	// radio's intrinsic break-even time (Fig. 8/9 sweep it explicitly).
+	SSBreakEven time.Duration
+	// DisableSafeSleep turns SS off on every node (ablation: shaping
+	// without sleeping).
+	DisableSafeSleep bool
+
+	// STSDeadline is the STS deadline D; zero selects D = query period
+	// (the §5 configuration). Fig. 2 sweeps it.
+	STSDeadline time.Duration
+	// NoBuffering disables STS/DTS early-report buffering (ablation).
+	NoBuffering bool
+
+	// MAC and channel parameters; zero values select the defaults.
+	MACCfg     mac.Config
+	ChannelCfg phy.Config
+	// LossRate injects independent per-delivery loss.
+	LossRate float64
+
+	// QueryCfg tunes the agent; zero FailureThreshold disables failure
+	// detection (the paper's main experiments have no failures).
+	QueryCfg query.Config
+
+	// Failures to inject.
+	Failures []Failure
+
+	// RecordSleepIntervals enables the Fig. 8 histogram collection.
+	RecordSleepIntervals bool
+
+	// TraceCapacity, when positive, records the last N structured events
+	// (radio transitions, failure recovery) across all nodes.
+	TraceCapacity int
+
+	// BatteryJ, when positive, gives every non-root node a finite energy
+	// budget in joules (MICA2-class power profile): a node whose radio
+	// consumption exceeds it dies, exercising the paper's §4.2.1 network-
+	// lifetime concern. The root (base station) is assumed powered.
+	BatteryJ float64
+
+	// Dissemination adds periodic root-to-leaves flows (the §3 extension).
+	// Flow IDs must not collide with query IDs.
+	Dissemination []core.DisseminationSpec
+
+	// PeerFlows adds periodic peer-to-peer flows routed through the tree
+	// (the §3 extension). Negative Src/Dst pick random distinct members.
+	// Flow IDs must not collide with query or dissemination IDs.
+	PeerFlows []core.P2PSpec
+
+	// SetupSlot models the paper's in-band query setup (§4.1): for this
+	// long before each query's phase, every ESSAT node holds its radio on
+	// and the setup request is flooded over the air. Zero disables (the
+	// default: queries pre-disseminated, like the routing tree).
+	SetupSlot time.Duration
+
+	// QueryStops deregister queries mid-run (workload adaptation).
+	QueryStops []QueryStop
+
+	// SyncCfg, PsmCfg and TmacCfg tune the baselines; zero values select
+	// defaults.
+	SyncCfg baseline.SyncConfig
+	PsmCfg  baseline.PsmConfig
+	TmacCfg baseline.TmacConfig
+}
+
+// DefaultScenario returns the paper's experimental setup with the given
+// protocol and seed (queries must still be added).
+func DefaultScenario(p Protocol, seed int64) Scenario {
+	return Scenario{
+		Protocol:    p,
+		Seed:        seed,
+		Topology:    topology.DefaultConfig(),
+		TreeMaxDist: 300,
+		Duration:    200 * time.Second,
+		MeasureFrom: 10 * time.Second,
+		RadioCfg:    radio.Mica2Config(),
+		SSBreakEven: -1,
+		MACCfg:      mac.DefaultConfig(),
+		ChannelCfg:  phy.DefaultConfig(),
+		QueryCfg:    query.Config{ReportBytes: 52, PhaseBytes: 4},
+	}
+}
+
+// QueryClasses builds the paper's workload: perClass queries in each of
+// three classes whose rates are in the ratio 6:3:2 (Q1 at baseRate Hz),
+// each starting at a random phase in [0, phaseMax).
+func QueryClasses(rng *rand.Rand, baseRate float64, perClass int, phaseMax time.Duration) []query.Spec {
+	if baseRate <= 0 || perClass <= 0 {
+		panic("experiment: baseRate and perClass must be positive")
+	}
+	ratios := []float64{1, 2, 3} // periods scale as 1, 2, 3 → rates 6:3:2
+	var specs []query.Spec
+	id := query.ID(0)
+	for class := 0; class < 3; class++ {
+		period := time.Duration(ratios[class] / baseRate * float64(time.Second))
+		for i := 0; i < perClass; i++ {
+			phase := time.Duration(rng.Int63n(int64(phaseMax)))
+			specs = append(specs, query.Spec{
+				ID:     id,
+				Period: period,
+				Phase:  phase,
+				Class:  class + 1,
+			})
+			id++
+		}
+	}
+	return specs
+}
+
+// Result aggregates one run's metrics.
+type Result struct {
+	Protocol Protocol
+	Seed     int64
+
+	// DutyCycle is the mean duty cycle over tree members, in [0,1],
+	// measured over [MeasureFrom, Duration].
+	DutyCycle float64
+	// DutyByRank maps node rank → mean duty cycle of nodes at that rank.
+	DutyByRank map[int]float64
+
+	// Latency summarizes per-interval query completion latency.
+	Latency stats.DurationStats
+	// LatencyByClass groups it per query class (1..3).
+	LatencyByClass map[int]stats.DurationStats
+
+	// Coverage is the mean number of source samples in the root's
+	// aggregate per interval (tree size would be perfect).
+	Coverage float64
+	// TreeSize is the number of tree members; MaxRank is M.
+	TreeSize int
+	MaxRank  int
+
+	// SleepIntervals collects every completed radio off-period across
+	// members, when enabled.
+	SleepIntervals []time.Duration
+
+	// PhaseUpdateBitsPerReport is DTS's piggyback overhead amortized over
+	// all scheduled reports (the paper reports < 1 bit/report).
+	PhaseUpdateBitsPerReport float64
+	// PhaseShifts counts DTS phase shifts across all nodes.
+	PhaseShifts uint64
+
+	// Channel and aggregate MAC statistics.
+	Channel phy.Stats
+	MACSent, MACFailed, MACRetries,
+	Timeouts, PassThroughs uint64
+
+	// Events is the number of simulator events executed.
+	Events uint64
+
+	// Trace holds the retained structured events when TraceCapacity > 0.
+	Trace []trace.Event
+
+	// DisseminationDelivery is the fraction of expected downstream
+	// command receptions that arrived (non-root members × intervals),
+	// and DisseminationLatency the mean release→reception delay.
+	DisseminationDelivery float64
+	DisseminationLatency  time.Duration
+
+	// P2PDelivery is the fraction of released peer messages consumed at
+	// their destinations; P2PLatency the mean release→consumption delay.
+	P2PDelivery float64
+	P2PLatency  time.Duration
+
+	// FirstDeath is when the first node exhausted its battery (0 = none
+	// died); BatteryDeaths counts nodes that died of exhaustion.
+	FirstDeath    time.Duration
+	BatteryDeaths int
+
+	// EnergyMean and EnergyMax are per-node radio energy over the
+	// measurement window in joules, under a MICA2-class power profile.
+	// NetworkLifetime extrapolates the worst node's draw against a 20 kJ
+	// battery — the paper's "nodes close to the root run out of energy
+	// faster" concern, quantified.
+	EnergyMean, EnergyMax float64
+	NetworkLifetime       time.Duration
+}
+
+// Run executes the scenario and collects metrics.
+func Run(sc Scenario) (*Result, error) {
+	if len(sc.Queries) == 0 {
+		return nil, fmt.Errorf("experiment: no queries configured")
+	}
+	if sc.Duration <= 0 {
+		return nil, fmt.Errorf("experiment: non-positive duration %v", sc.Duration)
+	}
+	eng := sim.New(sc.Seed)
+
+	topo, err := topology.NewRandom(eng.Rand(), sc.Topology)
+	if err != nil {
+		return nil, err
+	}
+	root := topo.CentralNode()
+	var tree *routing.Tree
+	if sc.BFSTree {
+		tree, err = routing.BuildBFS(topo, root, sc.TreeMaxDist)
+	} else {
+		fcfg := routing.DefaultFloodConfig()
+		fcfg.MaxDist = sc.TreeMaxDist
+		tree, err = routing.BuildFlood(sc.Seed+1, topo, root, fcfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	chCfg := sc.ChannelCfg
+	if chCfg.BitRate == 0 {
+		chCfg = phy.DefaultConfig()
+	}
+	chCfg.LossRate = sc.LossRate
+	ch := phy.NewChannel(eng, topo, chCfg)
+
+	macCfg := sc.MACCfg
+	if macCfg.SlotTime == 0 {
+		macCfg = mac.DefaultConfig()
+	}
+	qCfg := sc.QueryCfg
+	if qCfg.ReportBytes == 0 {
+		qCfg.ReportBytes = 52
+		qCfg.PhaseBytes = 4
+	}
+
+	sink := stats.NewRootSink(sc.Queries)
+	sink.MeasureFrom = sc.MeasureFrom
+
+	var tracer *trace.Tracer
+	if sc.TraceCapacity > 0 {
+		tracer = trace.New(sc.TraceCapacity, eng.Now)
+	}
+
+	nodes := make(map[node.NodeID]*node.Node, tree.Size())
+	for _, id := range tree.Members() {
+		n := node.New(eng, id, tree, ch, sc.RadioCfg, macCfg)
+		if sc.RecordSleepIntervals {
+			n.Radio.RecordSleepIntervals()
+		}
+		if tracer != nil {
+			n.SetTracer(tracer)
+		}
+		var s query.Sink
+		if id == root {
+			s = sink
+		}
+		if err := wireProtocol(sc, eng, n, tree, s, qCfg); err != nil {
+			return nil, err
+		}
+		nodes[id] = n
+	}
+	// Nodes outside the tree exist physically but take no part: attach a
+	// dark station so the channel's station table is complete.
+	for i := 0; i < topo.NumNodes(); i++ {
+		id := node.NodeID(i)
+		if _, ok := nodes[id]; ok {
+			continue
+		}
+		r := radio.New(eng, sc.RadioCfg)
+		darkMAC := mac.New(eng, ch, id, r, macCfg, discard{})
+		_ = darkMAC
+		r.TurnOff()
+	}
+
+	for _, spec := range sc.Queries {
+		for _, id := range tree.Members() {
+			if err := nodes[id].Agent.Register(spec); err != nil {
+				return nil, err
+			}
+		}
+		if sc.SetupSlot > 0 {
+			scheduleSetupSlot(eng, tree, nodes, spec, sc.SetupSlot)
+		}
+	}
+	for _, stop := range sc.QueryStops {
+		stop := stop
+		eng.Schedule(stop.At, func() {
+			for _, id := range tree.Members() {
+				if n := nodes[id]; !n.Killed() {
+					n.Agent.Deregister(stop.Query)
+				}
+			}
+		})
+	}
+	if len(sc.PeerFlows) > 0 {
+		for _, id := range tree.Members() {
+			nodes[id].InstallP2P(nil)
+		}
+		members := tree.Members()
+		for i := range sc.PeerFlows {
+			fl := sc.PeerFlows[i]
+			if fl.Src < 0 || fl.Dst < 0 {
+				fl.Src = members[eng.Rand().Intn(len(members))]
+				for {
+					fl.Dst = members[eng.Rand().Intn(len(members))]
+					if fl.Dst != fl.Src {
+						break
+					}
+				}
+				sc.PeerFlows[i] = fl
+			}
+			path := tree.Path(fl.Src, fl.Dst)
+			if path == nil {
+				return nil, fmt.Errorf("experiment: no path for peer flow %d (%d→%d)", fl.ID, fl.Src, fl.Dst)
+			}
+			for _, id := range tree.Members() {
+				if err := nodes[id].Peer.Register(fl, path); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if len(sc.Dissemination) > 0 {
+		for _, id := range tree.Members() {
+			nodes[id].InstallDisseminator(nil)
+		}
+		for _, ds := range sc.Dissemination {
+			for _, q := range sc.Queries {
+				if q.ID == ds.ID {
+					return nil, fmt.Errorf("experiment: dissemination flow %d collides with a query ID", ds.ID)
+				}
+			}
+			for _, id := range tree.Members() {
+				if err := nodes[id].Diss.Register(ds); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+
+	// Failure injection.
+	for _, f := range sc.Failures {
+		victim := f.Node
+		if victim < 0 {
+			victim = pickVictim(eng.Rand(), tree)
+		}
+		if victim == routing.None || victim == root {
+			continue
+		}
+		v := victim
+		eng.Schedule(f.At, func() {
+			if n, ok := nodes[v]; ok && !n.Killed() {
+				n.Kill()
+				ch.Disable(v)
+			}
+		})
+	}
+
+	// Battery exhaustion: poll each node's consumption once per simulated
+	// second and kill nodes that drained their budget.
+	var firstDeath time.Duration
+	batteryDeaths := 0
+	if sc.BatteryJ > 0 {
+		prof := radio.Mica2Power()
+		var check func()
+		check = func() {
+			for _, id := range tree.Members() {
+				n := nodes[id]
+				if id == root || n.Killed() {
+					continue
+				}
+				if n.Radio.Energy(prof) >= sc.BatteryJ {
+					if firstDeath == 0 {
+						firstDeath = eng.Now()
+					}
+					batteryDeaths++
+					n.Kill()
+					ch.Disable(id)
+				}
+			}
+			eng.After(time.Second, check)
+		}
+		eng.After(time.Second, check)
+	}
+
+	// Snapshot radio accounting at MeasureFrom for warm-up exclusion.
+	activeAt0 := make(map[node.NodeID]time.Duration, len(nodes))
+	energyAt0 := make(map[node.NodeID]float64, len(nodes))
+	profile := radio.Mica2Power()
+	eng.Schedule(sc.MeasureFrom, func() {
+		for id, n := range nodes {
+			activeAt0[id] = n.Radio.ActiveTime()
+			energyAt0[id] = n.Radio.Energy(profile)
+		}
+	})
+
+	eng.Run(sc.Duration)
+
+	res := collect(sc, eng, tree, ch, nodes, sink, activeAt0, energyAt0)
+	res.FirstDeath = firstDeath
+	res.BatteryDeaths = batteryDeaths
+	if tracer != nil {
+		res.Trace = tracer.Events()
+	}
+	return res, nil
+}
+
+// scheduleSetupSlot arranges the paper's setup-slot behavior for one
+// query: all ESSAT nodes hold their radios on during
+// [phase−slot, phase], and the setup request floods down the tree on the
+// air (each member rebroadcasts once, jittered inside the slot).
+func scheduleSetupSlot(eng *sim.Engine, tree *routing.Tree, nodes map[node.NodeID]*node.Node, spec query.Spec, slot time.Duration) {
+	start := spec.Phase - slot
+	if start < 0 {
+		start = 0
+	}
+	eng.Schedule(start, func() {
+		for _, id := range tree.Members() {
+			n := nodes[id]
+			if n.Killed() || n.SS == nil {
+				continue
+			}
+			n.SS.HoldAwake(spec.Phase)
+		}
+		// In-band flood: every member rebroadcasts the request once at a
+		// random offset inside the first half of the slot.
+		for _, id := range tree.Members() {
+			n := nodes[id]
+			if n.Killed() {
+				continue
+			}
+			jitter := time.Duration(eng.Rand().Int63n(int64(slot/2) + 1))
+			eng.Schedule(eng.Now()+jitter, func() {
+				if !n.Killed() && n.Radio.IsOn() {
+					n.MAC.Send(phy.Broadcast, setupAnnounce{Query: spec.ID}, 14, nil)
+				}
+			})
+		}
+	})
+}
+
+// discard is the upper layer for dark (non-member) nodes.
+type discard struct{}
+
+func (discard) Deliver(phy.NodeID, any, int) {}
+
+// pickVictim chooses a random live non-root node, preferring non-leaves
+// (whose failure exercises both recovery paths).
+func pickVictim(rng *rand.Rand, tree *routing.Tree) node.NodeID {
+	var inner, leaves []node.NodeID
+	for _, id := range tree.Members() {
+		if id == tree.Root() {
+			continue
+		}
+		if tree.IsLeaf(id) {
+			leaves = append(leaves, id)
+		} else {
+			inner = append(inner, id)
+		}
+	}
+	if len(inner) > 0 {
+		return inner[rng.Intn(len(inner))]
+	}
+	if len(leaves) > 0 {
+		return leaves[rng.Intn(len(leaves))]
+	}
+	return routing.None
+}
+
+// wireProtocol installs the protocol stack on one node.
+func wireProtocol(sc Scenario, eng *sim.Engine, n *node.Node, tree *routing.Tree, sink query.Sink, qCfg query.Config) error {
+	newSS := func(disabled bool) *core.SafeSleep {
+		return core.NewSafeSleep(eng, n.Radio, core.SafeSleepOptions{
+			BreakEven: sc.SSBreakEven,
+			WakeAhead: -1,
+			MACBusy:   n.MAC.Busy,
+			Disabled:  disabled || sc.DisableSafeSleep,
+		})
+	}
+	switch sc.Protocol {
+	case NTSSS:
+		ss := newSS(false)
+		n.InstallSleep(ss)
+		n.InstallAgent(core.NewNTS(n, ss), sink, qCfg)
+	case STSSS:
+		ss := newSS(false)
+		n.InstallSleep(ss)
+		sts := core.NewSTS(n, ss, sc.STSDeadline)
+		sts.NoBuffering = sc.NoBuffering
+		n.InstallAgent(sts, sink, qCfg)
+	case DTSSS:
+		ss := newSS(false)
+		n.InstallSleep(ss)
+		dts := core.NewDTS(n, ss)
+		dts.NoBuffering = sc.NoBuffering
+		n.InstallAgent(dts, sink, qCfg)
+	case SPAN:
+		// Backbone (non-leaf) nodes always on; leaves run NTS-SS.
+		ss := newSS(!tree.IsLeaf(n.ID()))
+		n.InstallSleep(ss)
+		n.InstallAgent(core.NewNTS(n, ss), sink, qCfg)
+	case PSM:
+		cfg := sc.PsmCfg
+		if cfg.BeaconPeriod == 0 {
+			cfg = baseline.DefaultPsmConfig()
+		}
+		pm := baseline.NewPsmPM(eng, n.ID(), n.Radio, n.MAC, cfg)
+		n.InstallPM(pm)
+		g := baseline.NewGreedy(n.Rank)
+		g.PerHopDelay = cfg.BeaconPeriod
+		n.InstallAgent(g, sink, qCfg)
+	case SYNC:
+		cfg := sc.SyncCfg
+		if cfg.Period == 0 {
+			cfg = baseline.DefaultSyncConfig()
+		}
+		pm := baseline.NewSyncPM(eng, n.Radio, cfg)
+		n.InstallPM(pm)
+		g := baseline.NewGreedy(n.Rank)
+		g.PerHopDelay = cfg.Period
+		n.InstallAgent(g, sink, qCfg)
+	case TMAC:
+		cfg := sc.TmacCfg
+		if cfg.FramePeriod == 0 {
+			cfg = baseline.DefaultTmacConfig()
+		}
+		pm := baseline.NewTmacPM(eng, n.Radio, n.MAC, cfg)
+		n.InstallPM(pm)
+		g := baseline.NewGreedy(n.Rank)
+		g.PerHopDelay = cfg.FramePeriod
+		n.InstallAgent(g, sink, qCfg)
+	default:
+		return fmt.Errorf("experiment: unknown protocol %q", sc.Protocol)
+	}
+	return nil
+}
+
+func collect(sc Scenario, eng *sim.Engine, tree *routing.Tree, ch *phy.Channel,
+	nodes map[node.NodeID]*node.Node, sink *stats.RootSink,
+	activeAt0 map[node.NodeID]time.Duration, energyAt0 map[node.NodeID]float64) *Result {
+
+	res := &Result{
+		Protocol:       sc.Protocol,
+		Seed:           sc.Seed,
+		DutyByRank:     make(map[int]float64),
+		LatencyByClass: make(map[int]stats.DurationStats),
+		TreeSize:       tree.Size(),
+		MaxRank:        tree.MaxRank(),
+		Channel:        ch.Stats(),
+		Events:         eng.Processed(),
+	}
+
+	window := float64(sc.Duration - sc.MeasureFrom)
+	profile := radio.Mica2Power()
+	var duty, energy stats.Welford
+	dutyRank := make(map[int]*stats.Welford)
+	var reports, phaseUpdates uint64
+	// Iterate in ID order so float accumulation is deterministic.
+	for _, id := range tree.Members() {
+		n, ok := nodes[id]
+		if !ok || n.Killed() {
+			continue
+		}
+		active := float64(n.Radio.ActiveTime() - activeAt0[id])
+		dc := active / window
+		duty.Add(dc)
+		e := n.Radio.Energy(profile) - energyAt0[id]
+		energy.Add(e)
+		if e > res.EnergyMax {
+			res.EnergyMax = e
+		}
+		r := tree.Rank(id)
+		if dutyRank[r] == nil {
+			dutyRank[r] = &stats.Welford{}
+		}
+		dutyRank[r].Add(dc)
+
+		ast := n.Agent.Stats()
+		reports += ast.ReportsSent
+		phaseUpdates += ast.PhaseUpdatesSent
+		res.Timeouts += ast.Timeouts
+		res.PassThroughs += ast.PassThroughsSent
+
+		mst := n.MAC.Stats()
+		res.MACSent += mst.Sent
+		res.MACFailed += mst.Failed
+		res.MACRetries += mst.Retries
+
+		if sc.RecordSleepIntervals {
+			res.SleepIntervals = append(res.SleepIntervals, n.Radio.SleepIntervals()...)
+		}
+		if dts, ok := n.Agent.Shaper().(*core.DTS); ok {
+			res.PhaseShifts += dts.Stats().PhaseShifts
+		}
+	}
+	res.DutyCycle = duty.Mean()
+	for r, w := range dutyRank {
+		res.DutyByRank[r] = w.Mean()
+	}
+	if reports > 0 {
+		bits := float64(phaseUpdates) * float64(qPhaseBytes(sc)) * 8
+		res.PhaseUpdateBitsPerReport = bits / float64(reports)
+	}
+
+	res.Latency = stats.SummarizeDurations(sink.Latencies())
+	for class, ls := range sink.LatencyByClass() {
+		res.LatencyByClass[class] = stats.SummarizeDurations(ls)
+	}
+	res.Coverage = sink.MeanCoverage()
+	res.EnergyMean = energy.Mean()
+	if res.EnergyMax > 0 {
+		// 20 kJ ≈ a pair of AA cells' usable energy at sensor loads. The
+		// network lives until its hungriest node (typically near the root)
+		// drains, at the draw observed in the measurement window.
+		const batteryJ = 20_000.0
+		drawWatts := res.EnergyMax / time.Duration(window).Seconds()
+		res.NetworkLifetime = time.Duration(batteryJ / drawWatts * float64(time.Second))
+	}
+
+	if len(sc.PeerFlows) > 0 {
+		var consumed, originated uint64
+		var latSum time.Duration
+		for _, id := range tree.Members() {
+			n, ok := nodes[id]
+			if !ok || n.Peer == nil {
+				continue
+			}
+			st := n.Peer.Stats()
+			consumed += st.Consumed
+			originated += st.Originated
+			latSum += st.LatencySum
+		}
+		if originated > 0 {
+			res.P2PDelivery = float64(consumed) / float64(originated)
+		}
+		if consumed > 0 {
+			res.P2PLatency = latSum / time.Duration(consumed)
+		}
+	}
+	if len(sc.Dissemination) > 0 {
+		var received uint64
+		var latSum time.Duration
+		var expected uint64
+		for _, id := range tree.Members() {
+			n, ok := nodes[id]
+			if !ok || n.Killed() || n.Diss == nil {
+				continue
+			}
+			ds := n.Diss.Stats()
+			received += ds.Received
+			latSum += ds.LatencySum
+			if id != tree.Root() {
+				for _, fl := range sc.Dissemination {
+					if fl.Phase >= sc.Duration {
+						continue
+					}
+					// Commands are released at Phase + k·Period < Duration.
+					intervals := int64((sc.Duration-fl.Phase-1)/fl.Period) + 1
+					expected += uint64(intervals)
+				}
+			}
+		}
+		if expected > 0 {
+			res.DisseminationDelivery = float64(received) / float64(expected)
+		}
+		if received > 0 {
+			res.DisseminationLatency = latSum / time.Duration(received)
+		}
+	}
+	return res
+}
+
+func qPhaseBytes(sc Scenario) int {
+	if sc.QueryCfg.PhaseBytes > 0 {
+		return sc.QueryCfg.PhaseBytes
+	}
+	return 4
+}

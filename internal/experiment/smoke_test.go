@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/essat/essat/internal/topology"
+)
+
+// smokeScenario is a scaled-down paper setup: 40 nodes, 30 s, one query
+// per class at 1 Hz base rate.
+func smokeScenario(p Protocol, seed int64) Scenario {
+	sc := DefaultScenario(p, seed)
+	sc.Topology = topology.Config{NumNodes: 40, AreaSide: 400, Range: 125}
+	sc.Duration = 30 * time.Second
+	sc.MeasureFrom = 5 * time.Second
+	rng := rand.New(rand.NewSource(seed + 1000))
+	sc.Queries = QueryClasses(rng, 1.0, 1, 4*time.Second)
+	return sc
+}
+
+func TestSmokeAllProtocols(t *testing.T) {
+	for _, p := range AllProtocols {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			res, err := Run(smokeScenario(p, 42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: duty=%.1f%% latency(mean=%v p95=%v) coverage=%.1f/%d events=%d timeouts=%d passthru=%d shifts=%d macfail=%d",
+				p, res.DutyCycle*100, res.Latency.Mean, res.Latency.P95,
+				res.Coverage, res.TreeSize, res.Events, res.Timeouts, res.PassThroughs, res.PhaseShifts, res.MACFailed)
+			t.Logf("  dutyByRank=%v", res.DutyByRank)
+			if res.Latency.N == 0 {
+				t.Fatal("no query latency samples reached the root")
+			}
+			if res.DutyCycle <= 0 || res.DutyCycle > 1 {
+				t.Fatalf("duty cycle %v out of range", res.DutyCycle)
+			}
+			// PSM's per-hop beacon latency makes the root close intervals
+			// with partial aggregates (deep data arrives as pass-throughs
+			// afterwards), so only a loose bound applies there.
+			minCoverage := float64(res.TreeSize) / 2
+			if p == PSM {
+				minCoverage = float64(res.TreeSize) / 8
+			}
+			if res.Coverage < minCoverage {
+				t.Errorf("coverage %.1f below %.1f (tree %d)", res.Coverage, minCoverage, res.TreeSize)
+			}
+		})
+	}
+}

@@ -1,0 +1,571 @@
+// Package mac implements a CSMA/CA medium-access layer in the style of the
+// IEEE 802.11 distributed coordination function, the MAC the ESSAT paper
+// simulates under ns-2.
+//
+// The protocol: a station with a pending frame waits until the medium has
+// been idle for DIFS, then counts down a random backoff drawn from the
+// contention window, freezing the countdown while the medium is busy.
+// Unicast frames are acknowledged after SIFS; a missing ACK doubles the
+// contention window and retransmits, up to a retry limit. Broadcast frames
+// are sent once, unacknowledged.
+//
+// The random backoff is the source of the delay jitter that ESSAT's
+// traffic shapers exist to absorb: even perfectly periodic application
+// traffic arrives aperiodically after a few contended hops.
+//
+// Power awareness: the MAC observes its radio. While the radio is off the
+// MAC holds its queue; transmission resumes when the radio returns. This
+// is how power managers (Safe Sleep, SYNC, PSM) gate communication without
+// the MAC needing protocol-specific hooks.
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/essat/essat/internal/phy"
+	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/sim"
+)
+
+// Config holds the DCF timing and retry parameters.
+type Config struct {
+	// SlotTime is the backoff slot length.
+	SlotTime time.Duration
+	// SIFS is the short interframe space (data→ACK turnaround).
+	SIFS time.Duration
+	// DIFS is the DCF interframe space a station must observe idle before
+	// contending.
+	DIFS time.Duration
+	// CWMin and CWMax bound the contention window; backoff is drawn
+	// uniformly from [0, CW-1].
+	CWMin, CWMax int
+	// RetryLimit is the number of retransmissions before a unicast frame
+	// is reported failed.
+	RetryLimit int
+	// AckBytes is the on-air size of an acknowledgement frame.
+	AckBytes int
+}
+
+// DefaultConfig returns 802.11b-like parameters at 1 Mbps.
+func DefaultConfig() Config {
+	return Config{
+		SlotTime:   20 * time.Microsecond,
+		SIFS:       10 * time.Microsecond,
+		DIFS:       50 * time.Microsecond,
+		CWMin:      32,
+		CWMax:      1024,
+		RetryLimit: 7,
+		AckBytes:   14,
+	}
+}
+
+func (c Config) validate() error {
+	if c.SlotTime <= 0 || c.SIFS <= 0 || c.DIFS <= 0 {
+		return fmt.Errorf("mac: slot/SIFS/DIFS must be positive")
+	}
+	if c.CWMin < 1 || c.CWMax < c.CWMin {
+		return fmt.Errorf("mac: need 1 <= CWMin <= CWMax, got %d, %d", c.CWMin, c.CWMax)
+	}
+	if c.RetryLimit < 0 {
+		return fmt.Errorf("mac: negative retry limit")
+	}
+	if c.AckBytes <= 0 {
+		return fmt.Errorf("mac: AckBytes must be positive")
+	}
+	return nil
+}
+
+// Upper receives payloads the MAC successfully reassembled for this node.
+type Upper interface {
+	// Deliver hands a received payload up the stack. Duplicate unicast
+	// frames (retransmissions whose ACK was lost) are filtered out.
+	Deliver(src phy.NodeID, payload any, bytes int)
+}
+
+// SendCallback reports the fate of a queued frame: true once the frame was
+// acknowledged (or, for broadcast, transmitted), false when the retry
+// limit was exhausted.
+type SendCallback func(ok bool)
+
+// Stats counts MAC-level outcomes for one station.
+type Stats struct {
+	// Enqueued counts frames accepted from the upper layer.
+	Enqueued uint64
+	// Sent counts frames completed successfully.
+	Sent uint64
+	// Failed counts frames dropped after exhausting retries.
+	Failed uint64
+	// Retries counts individual retransmission attempts.
+	Retries uint64
+	// AcksSent counts acknowledgements transmitted.
+	AcksSent uint64
+	// Duplicates counts received duplicate data frames (acked, not delivered).
+	Duplicates uint64
+	// ServiceTime accumulates enqueue→completion time across Sent frames,
+	// a proxy for MAC-induced delay.
+	ServiceTime time.Duration
+}
+
+type frameKind uint8
+
+const (
+	kindData frameKind = iota + 1
+	kindAck
+)
+
+// header is the MAC framing around an upper-layer payload.
+type header struct {
+	kind    frameKind
+	seq     uint64
+	payload any
+}
+
+type txItem struct {
+	dst      phy.NodeID
+	payload  any
+	bytes    int
+	cb       SendCallback
+	seq      uint64
+	attempts int
+	enqueued time.Duration
+}
+
+// MAC is one station's medium-access state machine.
+type MAC struct {
+	eng   *sim.Engine
+	ch    *phy.Channel
+	id    phy.NodeID
+	radio *radio.Radio
+	cfg   Config
+	upper Upper
+
+	queue   []*txItem
+	cw      int
+	backoff int // remaining slots; preserved across freezes
+
+	// Timers; at most one is active at a time.
+	difsEv    *sim.Event
+	backoffEv *sim.Event
+	ackEv     *sim.Event
+	txEndEv   *sim.Event
+
+	backoffStarted time.Duration
+	waitingAck     bool
+	ackPending     int // acknowledgements owed (scheduled after SIFS)
+	inTx           bool
+
+	// navUntil is the virtual-carrier-sense deadline: after overhearing a
+	// unicast data frame for another node, the station defers through the
+	// SIFS + ACK exchange so acknowledgements are never clobbered by new
+	// contention (802.11 NAV).
+	navUntil time.Duration
+	navEv    *sim.Event
+
+	// lastDecode is when this station last decoded any frame; a carrier
+	// falling edge with no decode at the same instant means the reception
+	// was corrupted or partially missed, triggering an EIFS defer.
+	lastDecode time.Duration
+
+	nextSeq uint64
+	lastSeq map[phy.NodeID]uint64
+	seen    map[phy.NodeID]bool
+
+	// ackInfo holds upper-layer payloads to piggyback on pending ACKs,
+	// keyed by (source, sequence) of the data frame being acknowledged.
+	ackInfo   map[ackKey]any
+	onAckInfo func(from phy.NodeID, info any)
+
+	onIdle func()
+	stats  Stats
+}
+
+type ackKey struct {
+	src phy.NodeID
+	seq uint64
+}
+
+// New creates a MAC for node id, attaching it to the channel.
+func New(eng *sim.Engine, ch *phy.Channel, id phy.NodeID, r *radio.Radio, cfg Config, upper Upper) *MAC {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	m := &MAC{
+		eng:        eng,
+		ch:         ch,
+		id:         id,
+		radio:      r,
+		cfg:        cfg,
+		upper:      upper,
+		cw:         cfg.CWMin,
+		lastDecode: -1,
+		lastSeq:    make(map[phy.NodeID]uint64),
+		seen:       make(map[phy.NodeID]bool),
+		ackInfo:    make(map[ackKey]any),
+	}
+	ch.Attach(id, r, m)
+	r.Subscribe(m.radioChanged)
+	return m
+}
+
+// ID returns the node ID this MAC serves.
+func (m *MAC) ID() phy.NodeID { return m.id }
+
+// Stats returns a copy of the station's counters.
+func (m *MAC) Stats() Stats { return m.stats }
+
+// SetUpper installs the upper-layer receiver. It must be called before the
+// simulation starts if the upper layer was not available at construction.
+func (m *MAC) SetUpper(u Upper) { m.upper = u }
+
+// SetAckInfoFunc installs the callback invoked when an acknowledgement
+// for one of this station's frames carried piggybacked information.
+func (m *MAC) SetAckInfoFunc(f func(from phy.NodeID, info any)) { m.onAckInfo = f }
+
+// AttachToAck piggybacks info on the acknowledgement this station is about
+// to send for the data frame it is currently delivering from src (valid
+// only while Upper.Deliver runs). It reports whether an ACK is pending for
+// src. ESSAT uses this for DTS phase-update requests (§4.3: "the receiver
+// may piggyback the request for a phase update in the acknowledgement").
+func (m *MAC) AttachToAck(src phy.NodeID, info any) bool {
+	if m.ackPending == 0 {
+		return false
+	}
+	if _, ok := m.lastSeq[src]; !ok {
+		return false
+	}
+	m.ackInfo[ackKey{src: src, seq: m.lastSeq[src]}] = info
+	return true
+}
+
+// SetIdleFunc installs a callback invoked whenever the MAC drains: queue
+// empty, no transmission in flight, no acknowledgement owed. Safe Sleep
+// uses it to re-evaluate whether the node may sleep.
+func (m *MAC) SetIdleFunc(f func()) { m.onIdle = f }
+
+// Busy reports whether the MAC has unfinished work: queued or in-flight
+// frames, or an acknowledgement it still owes a peer.
+func (m *MAC) Busy() bool {
+	return len(m.queue) > 0 || m.ackPending > 0 || m.inTx || m.waitingAck
+}
+
+// QueueLen returns the number of frames queued, including the one
+// currently contending.
+func (m *MAC) QueueLen() int { return len(m.queue) }
+
+// Send queues a payload for transmission to dst (or phy.Broadcast).
+// cb may be nil. Delivery is attempted as soon as the medium and the
+// node's radio allow.
+func (m *MAC) Send(dst phy.NodeID, payload any, bytes int, cb SendCallback) {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("mac: non-positive frame size %d", bytes))
+	}
+	if dst == m.id {
+		panic("mac: send to self")
+	}
+	item := &txItem{
+		dst:      dst,
+		payload:  payload,
+		bytes:    bytes,
+		cb:       cb,
+		seq:      m.nextSeq,
+		enqueued: m.eng.Now(),
+	}
+	m.nextSeq++
+	m.stats.Enqueued++
+	m.queue = append(m.queue, item)
+	m.tryContend()
+}
+
+// --- contention state machine -------------------------------------------
+
+// tryContend starts or resumes the DIFS/backoff procedure when conditions
+// allow. It is idempotent: calling it when a timer is already pending or
+// transmission is in progress is a no-op.
+func (m *MAC) tryContend() {
+	if len(m.queue) == 0 || m.inTx || m.waitingAck || m.ackPending > 0 {
+		return
+	}
+	if m.difsEv != nil || m.backoffEv != nil {
+		return // already contending
+	}
+	if !m.radio.IsOn() {
+		return // resumes via radioChanged
+	}
+	if m.carrierBusy() {
+		return // resumes via CarrierChanged(false) or NAV expiry
+	}
+	m.difsEv = m.eng.After(m.cfg.DIFS, m.difsDone)
+}
+
+func (m *MAC) difsDone() {
+	m.difsEv = nil
+	if m.carrierBusy() {
+		// Busy edge and DIFS expiry at the same instant; defer.
+		return
+	}
+	if m.backoff == 0 {
+		m.backoff = m.eng.Rand().Intn(m.cw)
+	}
+	if m.backoff == 0 {
+		m.transmit()
+		return
+	}
+	m.backoffStarted = m.eng.Now()
+	m.backoffEv = m.eng.After(time.Duration(m.backoff)*m.cfg.SlotTime, m.backoffDone)
+}
+
+func (m *MAC) backoffDone() {
+	m.backoffEv = nil
+	m.backoff = 0
+	if m.carrierBusy() || !m.radio.CanReceive() {
+		// Beat by a carrier edge in the same instant; refreeze with zero
+		// remaining slots — we transmit right after the next DIFS.
+		m.tryContend()
+		return
+	}
+	m.transmit()
+}
+
+// carrierBusy combines physical carrier sense with the NAV.
+func (m *MAC) carrierBusy() bool {
+	return m.ch.CarrierBusy(m.id) || m.eng.Now() < m.navUntil
+}
+
+// setNAV extends the virtual-carrier-sense deadline and arranges to
+// resume contention when it expires.
+func (m *MAC) setNAV(until time.Duration) {
+	if until <= m.navUntil {
+		return
+	}
+	m.navUntil = until
+	m.freeze()
+	if m.navEv != nil {
+		m.navEv.Cancel()
+	}
+	m.navEv = m.eng.Schedule(until, func() {
+		m.navEv = nil
+		m.tryContend()
+	})
+}
+
+// freeze suspends an in-progress countdown, crediting fully elapsed slots.
+func (m *MAC) freeze() {
+	if m.difsEv != nil {
+		m.difsEv.Cancel()
+		m.difsEv = nil
+	}
+	if m.backoffEv != nil {
+		m.backoffEv.Cancel()
+		m.backoffEv = nil
+		elapsed := int((m.eng.Now() - m.backoffStarted) / m.cfg.SlotTime)
+		m.backoff -= elapsed
+		if m.backoff < 0 {
+			m.backoff = 0
+		}
+	}
+}
+
+func (m *MAC) transmit() {
+	item := m.queue[0]
+	m.inTx = true
+	hdr := header{kind: kindData, seq: item.seq, payload: item.payload}
+	dur, _ := m.ch.StartTx(m.id, item.dst, item.bytes, hdr)
+	m.txEndEv = m.eng.After(dur, func() {
+		m.txEndEv = nil
+		m.inTx = false
+		m.txDone(item)
+	})
+}
+
+func (m *MAC) txDone(item *txItem) {
+	if item.dst == phy.Broadcast {
+		m.finish(item, true)
+		return
+	}
+	m.waitingAck = true
+	timeout := m.cfg.SIFS + m.ch.FrameDuration(m.cfg.AckBytes) + 3*m.cfg.SlotTime
+	m.ackEv = m.eng.After(timeout, func() {
+		m.ackEv = nil
+		m.waitingAck = false
+		m.retry(item)
+	})
+}
+
+func (m *MAC) retry(item *txItem) {
+	item.attempts++
+	if item.attempts > m.cfg.RetryLimit {
+		m.finish(item, false)
+		return
+	}
+	m.stats.Retries++
+	m.cw *= 2
+	if m.cw > m.cfg.CWMax {
+		m.cw = m.cfg.CWMax
+	}
+	m.backoff = m.eng.Rand().Intn(m.cw)
+	m.tryContend()
+}
+
+func (m *MAC) finish(item *txItem, ok bool) {
+	m.queue = m.queue[1:]
+	m.cw = m.cfg.CWMin
+	m.backoff = 0
+	if ok {
+		m.stats.Sent++
+		m.stats.ServiceTime += m.eng.Now() - item.enqueued
+	} else {
+		m.stats.Failed++
+	}
+	if item.cb != nil {
+		item.cb(ok)
+	}
+	if len(m.queue) > 0 {
+		m.tryContend()
+	} else {
+		m.notifyIdleIfDrained()
+	}
+}
+
+func (m *MAC) notifyIdleIfDrained() {
+	if m.onIdle != nil && !m.Busy() {
+		m.onIdle()
+	}
+}
+
+// --- receive path ---------------------------------------------------------
+
+// FrameDelivered implements phy.Receiver. The channel reports every frame
+// this station decoded; frames addressed elsewhere only update the NAV.
+func (m *MAC) FrameDelivered(f *phy.Frame) {
+	hdr, ok := f.Payload.(header)
+	if !ok {
+		panic(fmt.Sprintf("mac: node %d received non-MAC payload %T", m.id, f.Payload))
+	}
+	m.lastDecode = m.eng.Now()
+	if f.Dst != m.id && f.Dst != phy.Broadcast {
+		// Overheard unicast data implies a SIFS + ACK exchange follows:
+		// defer through it (virtual carrier sense).
+		if hdr.kind == kindData {
+			m.setNAV(m.eng.Now() + m.cfg.SIFS + m.ch.FrameDuration(m.cfg.AckBytes))
+		}
+		return
+	}
+	switch hdr.kind {
+	case kindAck:
+		m.ackReceived(f.Src, hdr.seq, hdr.payload)
+	case kindData:
+		m.dataReceived(f, hdr)
+	default:
+		panic(fmt.Sprintf("mac: unknown frame kind %d", hdr.kind))
+	}
+}
+
+func (m *MAC) ackReceived(src phy.NodeID, seq uint64, info any) {
+	if info != nil && m.onAckInfo != nil {
+		m.onAckInfo(src, info)
+	}
+	if !m.waitingAck || len(m.queue) == 0 {
+		return // stale ACK
+	}
+	item := m.queue[0]
+	if item.dst != src || item.seq != seq {
+		return
+	}
+	m.waitingAck = false
+	if m.ackEv != nil {
+		m.ackEv.Cancel()
+		m.ackEv = nil
+	}
+	m.finish(item, true)
+}
+
+func (m *MAC) dataReceived(f *phy.Frame, hdr header) {
+	dup := false
+	if f.Dst == m.id {
+		// Unicast: schedule the ACK first so Busy() is accurate for any
+		// upper-layer logic that runs during Deliver.
+		dup = m.seen[f.Src] && m.lastSeq[f.Src] == hdr.seq
+		m.seen[f.Src] = true
+		m.lastSeq[f.Src] = hdr.seq
+		m.ackPending++
+		m.eng.After(m.cfg.SIFS, func() { m.sendAck(f.Src, hdr.seq) })
+	}
+	if dup {
+		m.stats.Duplicates++
+		return
+	}
+	m.upper.Deliver(f.Src, hdr.payload, f.Bytes)
+}
+
+func (m *MAC) sendAck(dst phy.NodeID, seq uint64) {
+	info := m.ackInfo[ackKey{src: dst, seq: seq}]
+	delete(m.ackInfo, ackKey{src: dst, seq: seq})
+	if !m.radio.IsOn() || m.radio.State() == radio.Tx {
+		// Radio gone or busy transmitting at ACK time: drop the ACK; the
+		// sender will retransmit.
+		m.ackPending--
+		m.afterAck()
+		return
+	}
+	hdr := header{kind: kindAck, seq: seq, payload: info}
+	dur, _ := m.ch.StartTx(m.id, dst, m.cfg.AckBytes, hdr)
+	m.stats.AcksSent++
+	m.eng.After(dur, func() {
+		m.ackPending--
+		m.afterAck()
+	})
+}
+
+func (m *MAC) afterAck() {
+	if m.ackPending == 0 {
+		if len(m.queue) > 0 {
+			m.tryContend()
+		} else {
+			m.notifyIdleIfDrained()
+		}
+	}
+}
+
+// CarrierChanged implements phy.Receiver.
+func (m *MAC) CarrierChanged(busy bool) {
+	if !m.radio.IsOn() {
+		return
+	}
+	if busy {
+		m.freeze()
+		return
+	}
+	// A falling edge with no successful decode at this instant means the
+	// reception was corrupted (collision) or its preamble was missed: the
+	// medium may still carry an exchange we cannot track, so defer EIFS =
+	// SIFS + ACK + DIFS as 802.11 does (protects ACKs from stations that
+	// could not read the preceding data frame).
+	if m.lastDecode != m.eng.Now() {
+		m.setNAV(m.eng.Now() + m.cfg.SIFS + m.ch.FrameDuration(m.cfg.AckBytes) + m.cfg.DIFS)
+		return
+	}
+	m.tryContend()
+}
+
+// --- radio gating ----------------------------------------------------------
+
+func (m *MAC) radioChanged(old, new radio.State) {
+	switch new {
+	case radio.Idle:
+		if old == radio.TurningOn || old == radio.Off {
+			// Woke up (instantly, for zero-delay radios): resume work.
+			m.tryContend()
+		}
+	case radio.TurningOff, radio.Off:
+		// Pause: freeze contention, abandon any ACK wait (the frame will
+		// be retried on wake without consuming a retry attempt, since the
+		// outcome is unknowable while asleep).
+		m.freeze()
+		if m.ackEv != nil {
+			m.ackEv.Cancel()
+			m.ackEv = nil
+			m.waitingAck = false
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package node composes a full sensor-node stack: radio, CSMA/CA MAC,
+// query agent, traffic shaper / Safe Sleep, and an optional power manager
+// (for the SYNC/PSM baselines). It implements the dispatching between the
+// layers, the core.Env context the ESSAT protocols need, and the node-side
+// coordination of the §4.3 failure-recovery procedures.
+package node
+
+import (
+	"time"
+
+	"github.com/essat/essat/internal/core"
+	"github.com/essat/essat/internal/mac"
+	"github.com/essat/essat/internal/phy"
+	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/routing"
+	"github.com/essat/essat/internal/sim"
+	"github.com/essat/essat/internal/trace"
+)
+
+// NodeID aliases the shared node identifier.
+type NodeID = phy.NodeID
+
+// JoinMsg is sent by a re-parenting node to its new parent so the parent
+// adds the dependency ("the new parent adds a dependency on the node",
+// §4.3).
+type JoinMsg struct{}
+
+// PowerManager is a baseline power-management policy driving the radio
+// directly (SYNC, PSM). ESSAT protocols do not use one: Safe Sleep plays
+// this role.
+type PowerManager interface {
+	// Name identifies the policy.
+	Name() string
+	// Start begins the policy's schedule at simulation time zero.
+	Start()
+}
+
+// ReportGate is an optional PowerManager capability: intercepting report
+// submissions so they can be buffered until the protocol's transfer
+// window (PSM's ATIM announcement cycle).
+type ReportGate interface {
+	SubmitReport(dst NodeID, payload any, bytes int, cb func(ok bool))
+}
+
+// ControlSink is an optional PowerManager capability: receiving the power
+// manager's own control traffic (PSM's ATIM announcements).
+type ControlSink interface {
+	HandleControl(src NodeID, msg any)
+}
+
+// Node is one sensor node's full stack.
+type Node struct {
+	id   NodeID
+	eng  *sim.Engine
+	tree *routing.Tree
+
+	Radio *radio.Radio
+	MAC   *mac.MAC
+	Agent *query.Agent
+	SS    *core.SafeSleep    // nil for baseline power managers
+	PM    PowerManager       // nil for ESSAT protocols
+	Diss  *core.Disseminator // nil unless InstallDisseminator was called
+	Peer  *core.P2P          // nil unless InstallP2P was called
+
+	gate   ReportGate
+	ctrl   ControlSink
+	tracer *trace.Tracer
+	killed bool
+}
+
+var _ mac.Upper = (*Node)(nil)
+var _ core.Env = (*Node)(nil)
+var _ core.DisseminationEnv = (*Node)(nil)
+
+// New builds the bottom half of a node (radio + MAC) attached to the
+// channel. InstallAgent must be called before the simulation starts.
+func New(eng *sim.Engine, id NodeID, tree *routing.Tree, ch *phy.Channel, radioCfg radio.Config, macCfg mac.Config) *Node {
+	n := &Node{id: id, eng: eng, tree: tree}
+	n.Radio = radio.New(eng, radioCfg)
+	n.MAC = mac.New(eng, ch, id, n.Radio, macCfg, n)
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// SetTracer attaches a structured event tracer recording this node's
+// radio transitions and recovery actions. Pass before the run starts.
+func (n *Node) SetTracer(tr *trace.Tracer) {
+	n.tracer = tr
+	if !tr.Enabled() {
+		return
+	}
+	n.Radio.Subscribe(func(old, new radio.State) {
+		switch {
+		case new == radio.Off:
+			tr.Record(n.id, trace.RadioSleep, "")
+		case new == radio.Idle && (old == radio.TurningOn || old == radio.Off):
+			tr.Record(n.id, trace.RadioWake, "")
+		}
+	})
+}
+
+// InstallSleep attaches a Safe Sleep scheduler and wires the MAC-drained
+// notification into its state check.
+func (n *Node) InstallSleep(ss *core.SafeSleep) {
+	n.SS = ss
+	n.MAC.SetIdleFunc(ss.CheckState)
+}
+
+// InstallAgent creates the query agent with the given shaper. sink is
+// non-nil only at the root.
+func (n *Node) InstallAgent(shaper query.Shaper, sink query.Sink, cfg query.Config) {
+	n.Agent = query.NewAgent(n.eng, n.id, n.tree, shaper, n.sendReport, sink, cfg)
+	n.Agent.SetFailureHandlers(n.childFailed, n.parentFailed)
+	// Route information piggybacked on received ACKs (DTS phase requests)
+	// to the shaper.
+	n.MAC.SetAckInfoFunc(func(from NodeID, info any) {
+		if !n.killed {
+			n.Agent.HandleControl(from, info)
+		}
+	})
+}
+
+// InstallDisseminator attaches the downstream dissemination handler
+// (the §3 extension). deliver may be nil.
+func (n *Node) InstallDisseminator(deliver func(*core.Command)) *core.Disseminator {
+	n.Diss = core.NewDisseminator(n.eng, n, n.SS, func() int { return n.tree.Level(n.id) }, deliver)
+	return n.Diss
+}
+
+// InstallP2P attaches the peer-to-peer flow handler (the §3 extension).
+// deliver may be nil.
+func (n *Node) InstallP2P(deliver func(*core.P2PMessage)) *core.P2P {
+	n.Peer = core.NewP2P(n.eng, n, n.SS, deliver)
+	return n.Peer
+}
+
+// InstallPM attaches a baseline power manager, discovering its optional
+// gate and control capabilities.
+func (n *Node) InstallPM(pm PowerManager) {
+	n.PM = pm
+	n.gate, _ = pm.(ReportGate)
+	n.ctrl, _ = pm.(ControlSink)
+}
+
+// Start boots the power manager (if any). ESSAT nodes need no start: Safe
+// Sleep acts on the shaper's first expectations.
+func (n *Node) Start() {
+	if n.PM != nil {
+		n.PM.Start()
+	}
+}
+
+// Kill silences the node: the agent stops producing and the stack ignores
+// all future traffic. The caller is responsible for disabling the node on
+// the channel (phy.Channel.Disable) so it also stops radiating.
+func (n *Node) Kill() {
+	n.killed = true
+	if n.Agent != nil {
+		n.Agent.Stop()
+	}
+}
+
+// Killed reports whether the node was killed.
+func (n *Node) Killed() bool { return n.killed }
+
+func (n *Node) sendReport(dst NodeID, payload any, bytes int, cb func(ok bool)) {
+	if n.killed {
+		return
+	}
+	if n.gate != nil {
+		n.gate.SubmitReport(dst, payload, bytes, cb)
+		return
+	}
+	n.MAC.Send(dst, payload, bytes, cb)
+}
+
+// Deliver implements mac.Upper, dispatching received payloads to the
+// query agent, the shaper, or the power manager.
+func (n *Node) Deliver(src NodeID, payload any, bytes int) {
+	if n.killed {
+		return
+	}
+	switch msg := payload.(type) {
+	case *query.Report:
+		n.Agent.HandleReport(src, msg)
+	case JoinMsg:
+		n.Agent.ChildAdded(src)
+	case core.PhaseRequest:
+		n.Agent.HandleControl(src, msg)
+	case *core.Command:
+		if n.Diss != nil {
+			n.Diss.HandleCommand(src, msg)
+		}
+	case *core.P2PMessage:
+		if n.Peer != nil {
+			n.Peer.HandleMessage(src, msg)
+		}
+	default:
+		if n.ctrl != nil {
+			n.ctrl.HandleControl(src, msg)
+		}
+	}
+}
+
+// --- core.Env --------------------------------------------------------------
+
+// Now implements core.Env.
+func (n *Node) Now() time.Duration { return n.eng.Now() }
+
+// Self implements core.Env.
+func (n *Node) Self() query.NodeID { return n.id }
+
+// IsRoot implements core.Env.
+func (n *Node) IsRoot() bool { return n.tree.Root() == n.id }
+
+// Rank implements core.Env.
+func (n *Node) Rank() int { return n.tree.Rank(n.id) }
+
+// RankOf implements core.Env.
+func (n *Node) RankOf(other query.NodeID) int { return n.tree.Rank(other) }
+
+// MaxRank implements core.Env.
+func (n *Node) MaxRank() int { return n.tree.MaxRank() }
+
+// SendControl implements core.Env.
+func (n *Node) SendControl(dst query.NodeID, msg any, bytes int) {
+	if n.killed {
+		return
+	}
+	n.MAC.Send(dst, msg, bytes, nil)
+}
+
+// RequestPhaseUpdate implements core.Env: piggyback the request on the
+// acknowledgement of the report currently being delivered when possible,
+// otherwise send an explicit control packet (§4.3).
+func (n *Node) RequestPhaseUpdate(child query.NodeID, q query.ID) {
+	if n.killed {
+		return
+	}
+	req := core.PhaseRequest{Query: q}
+	if n.MAC.AttachToAck(child, req) {
+		return
+	}
+	n.MAC.Send(child, req, core.ControlBytes, nil)
+}
+
+// Children implements core.DisseminationEnv.
+func (n *Node) Children() []query.NodeID { return n.tree.Children(n.id) }
+
+// SendData implements core.DisseminationEnv.
+func (n *Node) SendData(dst query.NodeID, payload any, bytes int, cb func(ok bool)) {
+	if n.killed {
+		return
+	}
+	n.MAC.Send(dst, payload, bytes, cb)
+}
+
+// --- §4.3 failure recovery --------------------------------------------------
+
+// childFailed runs when the agent's failure detector declares a child
+// dead (repeated missed reports): remove the dependency and the stale
+// expected times, and mark the node dead in the shared tree so nobody
+// re-parents onto it.
+func (n *Node) childFailed(child NodeID) {
+	n.tracer.Recordf(n.id, trace.NodeFailed, "child %d declared dead", child)
+	n.tree.MarkDead(child)
+	n.Agent.ChildRemoved(child)
+}
+
+// parentFailed runs when repeated transmissions to the parent failed:
+// pick a new parent (lowest-level live neighbor), update the tree, and
+// announce ourselves with a Join so the new parent adds the dependency.
+func (n *Node) parentFailed() {
+	old := n.tree.Parent(n.id)
+	np := n.tree.FindNewParent(n.id, old)
+	if np == routing.None {
+		return // disconnected: keep trying the old parent
+	}
+	if err := n.tree.Reparent(n.id, np); err != nil {
+		return
+	}
+	n.tracer.Recordf(n.id, trace.Reparented, "from %d to %d", old, np)
+	n.Agent.ParentChanged()
+	n.MAC.Send(np, JoinMsg{}, core.ControlBytes, nil)
+}

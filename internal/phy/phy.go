@@ -1,0 +1,287 @@
+// Package phy simulates the shared wireless channel: frame serialization
+// at the channel bitrate, unit-disc propagation, per-receiver collision
+// detection, and carrier sensing.
+//
+// The model is intentionally at the granularity a CSMA/CA MAC needs:
+//
+//   - A frame occupies the channel at every node within range of the
+//     transmitter for its full serialization time.
+//   - A node receives a frame only if its radio was Idle when the frame
+//     started; a second overlapping frame at the same receiver corrupts
+//     the reception (no capture effect).
+//   - Carrier sense reports whether any in-range transmission is ongoing;
+//     like a real radio, a node only senses while its radio is powered.
+//
+// Propagation delay over ≤500 m is under 2 µs — three orders of magnitude
+// below the slot time — and is ignored, as in most WSN simulations.
+package phy
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/sim"
+	"github.com/essat/essat/internal/topology"
+)
+
+// NodeID aliases the topology node identifier: the channel, MAC and upper
+// layers all share one ID space.
+type NodeID = topology.NodeID
+
+// Broadcast is the destination address for frames delivered to every
+// listening neighbor.
+const Broadcast NodeID = -1
+
+// Frame is one unit of channel occupancy.
+type Frame struct {
+	// ID is unique per transmission attempt (retransmissions get new IDs).
+	ID uint64
+	// Src is the transmitting node.
+	Src NodeID
+	// Dst is the intended receiver, or Broadcast.
+	Dst NodeID
+	// Bytes is the on-air size of the frame.
+	Bytes int
+	// Payload is the MAC-layer content; the channel does not inspect it.
+	Payload any
+}
+
+// Receiver is the MAC-side interface for channel callbacks.
+type Receiver interface {
+	// FrameDelivered is invoked for every frame this node decoded in full
+	// without collision — including unicast frames addressed to other
+	// nodes, which a CSMA/CA MAC uses for virtual carrier sense (NAV).
+	// The receiver must check Frame.Dst itself.
+	FrameDelivered(f *Frame)
+	// CarrierChanged signals the rising (busy=true) and falling edge of
+	// channel energy audible at this node. It fires regardless of radio
+	// power state; the MAC must gate on its own radio.
+	CarrierChanged(busy bool)
+}
+
+// Stats counts channel-level outcomes.
+type Stats struct {
+	// Transmissions is the number of frames put on the air.
+	Transmissions uint64
+	// Deliveries is the number of successful frame deliveries to their
+	// addressees (a broadcast may count several times, once per receiver).
+	Deliveries uint64
+	// Overheard counts decoded frames addressed to someone else.
+	Overheard uint64
+	// Collisions is the number of receptions corrupted by overlap.
+	Collisions uint64
+	// RandomDrops is the number of deliveries suppressed by loss injection.
+	RandomDrops uint64
+	// MissedAsleep is the number of frame arrivals at a receiver whose
+	// radio could not receive (off, transitioning, or mid-reception of
+	// the same frame start).
+	MissedAsleep uint64
+	// BytesSent is the total payload bytes put on the air.
+	BytesSent uint64
+}
+
+type activeTx struct {
+	frame *Frame
+	end   time.Duration
+}
+
+type station struct {
+	id      NodeID
+	radio   *radio.Radio
+	rx      Receiver
+	enabled bool
+
+	carriers  int       // in-range ongoing transmissions
+	receiving *activeTx // frame this station is locked onto
+	corrupted bool      // receiving frame got hit by overlap
+}
+
+// Channel is the shared medium connecting all attached stations.
+type Channel struct {
+	eng       *sim.Engine
+	topo      *topology.Topology
+	bitrate   int64 // bits per second
+	overhead  time.Duration
+	lossRate  float64
+	stations  []*station
+	nextID    uint64
+	stats     Stats
+	neighbors func(NodeID) []NodeID
+}
+
+// Config parameterizes the channel.
+type Config struct {
+	// BitRate is the channel rate in bits per second. The paper uses 1 Mbps.
+	BitRate int64
+	// PerFrameOverhead is fixed per-frame airtime (PHY preamble + header).
+	PerFrameOverhead time.Duration
+	// LossRate is an independent probability of dropping each otherwise
+	// successful delivery, for transient-loss experiments. Zero disables.
+	LossRate float64
+}
+
+// DefaultConfig returns the paper's channel: 1 Mbps with a 96 µs PHY
+// preamble (802.11 short preamble).
+func DefaultConfig() Config {
+	return Config{BitRate: 1_000_000, PerFrameOverhead: 96 * time.Microsecond}
+}
+
+// NewChannel creates a channel over the given topology. Stations must be
+// attached for every node before the simulation starts.
+func NewChannel(eng *sim.Engine, topo *topology.Topology, cfg Config) *Channel {
+	if cfg.BitRate <= 0 {
+		panic(fmt.Sprintf("phy: bitrate must be positive, got %d", cfg.BitRate))
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		panic(fmt.Sprintf("phy: loss rate must be in [0,1), got %g", cfg.LossRate))
+	}
+	c := &Channel{
+		eng:      eng,
+		topo:     topo,
+		bitrate:  cfg.BitRate,
+		overhead: cfg.PerFrameOverhead,
+		lossRate: cfg.LossRate,
+		stations: make([]*station, topo.NumNodes()),
+	}
+	c.neighbors = topo.Neighbors
+	return c
+}
+
+// Attach registers node id with its radio and MAC receiver. The channel
+// subscribes to radio state changes so that a radio powering down
+// mid-reception drops the frame.
+func (c *Channel) Attach(id NodeID, r *radio.Radio, rx Receiver) {
+	if c.stations[id] != nil {
+		panic(fmt.Sprintf("phy: node %d attached twice", id))
+	}
+	st := &station{id: id, radio: r, rx: rx, enabled: true}
+	c.stations[id] = st
+	r.Subscribe(func(old, new radio.State) {
+		// Leaving a listening state mid-frame loses the frame.
+		if st.receiving != nil && new != radio.Rx {
+			st.receiving = nil
+			st.corrupted = false
+		}
+	})
+}
+
+// Stats returns a copy of the channel counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// FrameDuration returns the airtime of a frame with the given payload size.
+func (c *Channel) FrameDuration(bytes int) time.Duration {
+	bits := int64(bytes) * 8
+	return c.overhead + time.Duration(bits*int64(time.Second)/c.bitrate)
+}
+
+// CarrierBusy reports whether node id currently senses energy on the
+// channel. A powered-down radio senses nothing.
+func (c *Channel) CarrierBusy(id NodeID) bool {
+	st := c.stations[id]
+	if !st.radio.IsListening() && st.radio.State() != radio.Tx {
+		return false
+	}
+	return st.carriers > 0 || st.radio.State() == radio.Tx
+}
+
+// Disable removes node id from the channel permanently (node failure):
+// it no longer receives frames or generates carrier at others. Its radio
+// is shut down for good, so stale wake-ups cannot resurrect the node.
+func (c *Channel) Disable(id NodeID) {
+	st := c.stations[id]
+	st.enabled = false
+	st.receiving = nil
+	st.radio.Shutdown()
+}
+
+// Enabled reports whether node id is still alive on the channel.
+func (c *Channel) Enabled(id NodeID) bool { return c.stations[id].enabled }
+
+// StartTx puts a frame on the air from src and returns its airtime. The
+// source radio must be powered. Delivery and carrier bookkeeping at every
+// in-range station happen automatically; the transmission completes (and
+// the source radio returns to Idle) after the returned duration.
+func (c *Channel) StartTx(src NodeID, dst NodeID, bytes int, payload any) (time.Duration, *Frame) {
+	st := c.stations[src]
+	if !st.enabled {
+		panic(fmt.Sprintf("phy: disabled node %d transmitting", src))
+	}
+	f := &Frame{ID: c.nextID, Src: src, Dst: dst, Bytes: bytes, Payload: payload}
+	c.nextID++
+	dur := c.FrameDuration(bytes)
+	tx := &activeTx{frame: f, end: c.eng.Now() + dur}
+
+	c.stats.Transmissions++
+	c.stats.BytesSent += uint64(bytes)
+
+	st.radio.BeginTx()
+	for _, nb := range c.neighbors(src) {
+		rst := c.stations[nb]
+		if !rst.enabled {
+			continue
+		}
+		rst.carriers++
+		if rst.carriers == 1 {
+			rst.rx.CarrierChanged(true)
+		}
+		switch {
+		case rst.receiving != nil:
+			// Already locked onto another frame: that reception is now
+			// corrupted. The new frame is lost at this receiver too.
+			rst.corrupted = true
+			c.stats.Collisions++
+		case rst.radio.CanReceive():
+			rst.receiving = tx
+			rst.corrupted = false
+			rst.radio.BeginRx()
+		default:
+			c.stats.MissedAsleep++
+		}
+	}
+
+	c.eng.After(dur, func() { c.endTx(src, tx) })
+	return dur, f
+}
+
+func (c *Channel) endTx(src NodeID, tx *activeTx) {
+	st := c.stations[src]
+	if st.radio.State() == radio.Tx {
+		st.radio.EndTx()
+	}
+	for _, nb := range c.neighbors(src) {
+		rst := c.stations[nb]
+		if !rst.enabled {
+			continue
+		}
+		rst.carriers--
+		if rst.receiving != nil && rst.receiving.frame == tx.frame {
+			corrupted := rst.corrupted
+			rst.receiving = nil
+			rst.corrupted = false
+			// Deliver before EndRx: the MAC records the ACK it owes during
+			// delivery, so a sleep scheduler re-evaluating on the Rx→Idle
+			// transition sees the pending work and keeps the radio on.
+			if !corrupted {
+				c.deliver(rst, tx.frame)
+			}
+			rst.radio.EndRx()
+		}
+		if rst.carriers == 0 {
+			rst.rx.CarrierChanged(false)
+		}
+	}
+}
+
+func (c *Channel) deliver(rst *station, f *Frame) {
+	if c.lossRate > 0 && c.eng.Rand().Float64() < c.lossRate {
+		c.stats.RandomDrops++
+		return
+	}
+	if f.Dst == Broadcast || f.Dst == rst.id {
+		c.stats.Deliveries++
+	} else {
+		c.stats.Overheard++
+	}
+	rst.rx.FrameDelivered(f)
+}

@@ -1,0 +1,571 @@
+// Package query implements the paper's workload model (§3): a generic
+// query service in which every node in a routing tree produces a data
+// report each query period, aggregates its children's reports with its
+// own sample, and forwards the aggregate toward the root.
+//
+// The Agent is deliberately power-management agnostic: all timing policy
+// is delegated to a Shaper (traffic shaper + sleep-scheduler bookkeeping),
+// which is where the ESSAT protocols (NTS/STS/DTS + Safe Sleep) and the
+// baselines plug in. The agent handles the mechanics every protocol
+// shares: interval bookkeeping, aggregation, collection timeouts,
+// late-report pass-through, and failure counting.
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/essat/essat/internal/routing"
+	"github.com/essat/essat/internal/sim"
+	"github.com/essat/essat/internal/topology"
+)
+
+// NodeID aliases the shared node identifier.
+type NodeID = topology.NodeID
+
+// ID identifies a registered query.
+type ID int
+
+// NoPhase marks the absence of a piggybacked phase update in a report.
+const NoPhase = time.Duration(-1)
+
+// Spec describes a query as issued by the user: report period P, start
+// time φ, and a class label used only for result grouping (Q1/Q2/Q3).
+type Spec struct {
+	ID     ID
+	Period time.Duration
+	Phase  time.Duration
+	Class  int
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Period <= 0 {
+		return fmt.Errorf("query %d: period must be positive, got %v", s.ID, s.Period)
+	}
+	if s.Phase < 0 {
+		return fmt.Errorf("query %d: negative phase %v", s.ID, s.Phase)
+	}
+	return nil
+}
+
+// IntervalStart returns φ + k·P, the nominal start of interval k.
+func (s Spec) IntervalStart(k int) time.Duration {
+	return s.Phase + time.Duration(k)*s.Period
+}
+
+// Report is one (possibly aggregated) data report traveling up the tree.
+type Report struct {
+	Query    ID
+	Interval int
+	// Coverage counts the source samples folded into this aggregate.
+	Coverage int
+	// Value is the aggregate value (max-aggregation by default).
+	Value float64
+	// Phase is a DTS phase update piggybacked on the report: the sender's
+	// expected send time of its next report. NoPhase when absent.
+	Phase time.Duration
+	// PassThrough marks a late partial aggregate being forwarded without
+	// further aggregation.
+	PassThrough bool
+}
+
+// Shaper is the per-node traffic-shaping and sleep-bookkeeping policy.
+// The ESSAT shapers update Safe Sleep's expected send/receive times from
+// these hooks; baseline policies mostly leave them empty.
+type Shaper interface {
+	// Name identifies the shaper in results ("NTS", "STS", "DTS", ...).
+	Name() string
+	// QueryAdded informs the shaper of a newly registered query and the
+	// node's current children for it.
+	QueryAdded(spec Spec, children []NodeID)
+	// ReportReady is called when this node's aggregate for interval k is
+	// ready. It returns when the report should be submitted to the MAC
+	// (>= now; early reports are buffered until their expected send time)
+	// and the phase update to piggyback, or NoPhase.
+	ReportReady(q ID, k int, readyAt time.Duration) (sendAt time.Duration, phase time.Duration)
+	// ReportSent is called when the MAC confirmed delivery of interval
+	// k's report; the shaper computes s(k+1) here (§4.1).
+	ReportSent(q ID, k int)
+	// ReportFailed is called when the MAC exhausted its retries for
+	// interval k's report. The shaper must still advance its schedule so
+	// the node does not stay pinned awake on a stale expected send time.
+	ReportFailed(q ID, k int)
+	// ReportReceived is called for each scheduled (non-pass-through)
+	// report received from a child, with any piggybacked phase; the
+	// shaper computes r(q, k+1, c) here (§4.1).
+	ReportReceived(q ID, child NodeID, k int, phase time.Duration)
+	// IntervalClosed is called when interval k is closed (all children
+	// reported, or the collection deadline fired) with the children that
+	// did not report in time.
+	IntervalClosed(q ID, k int, missing []NodeID)
+	// CollectDeadline returns the absolute time at which the node stops
+	// waiting for children's interval-k reports (§4.3 timeout policy).
+	CollectDeadline(q ID, k int) time.Duration
+	// QueryRemoved tells the shaper a query was deregistered: all its
+	// schedule state (including Safe Sleep expectations) must be dropped.
+	QueryRemoved(q ID)
+	// ChildAdded and ChildRemoved track dependency changes from topology
+	// maintenance (§4.3).
+	ChildAdded(q ID, child NodeID)
+	ChildRemoved(q ID, child NodeID)
+	// ParentChanged signals that the node was re-parented.
+	ParentChanged(q ID)
+	// ControlReceived delivers shaper-level control traffic (e.g. DTS
+	// phase requests).
+	ControlReceived(from NodeID, msg any)
+}
+
+// Sink receives root-side observations for metrics.
+type Sink interface {
+	// ReportArrived fires for every report reaching the root: latency is
+	// measured from the interval's nominal start φ+kP.
+	ReportArrived(q ID, interval int, latency time.Duration, coverage int)
+	// IntervalClosed fires when the root closes interval k with the total
+	// coverage it managed to collect.
+	IntervalClosed(q ID, interval int, latency time.Duration, coverage int)
+}
+
+// SendFunc submits a payload toward dst; cb reports MAC-level success.
+type SendFunc func(dst NodeID, payload any, bytes int, cb func(ok bool))
+
+// AggFunc folds two aggregate values. The default is max, typical for
+// threshold-detection queries.
+type AggFunc func(a, b float64) float64
+
+// MaxAgg is the default aggregation function.
+func MaxAgg(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Config parameterizes an Agent.
+type Config struct {
+	// ReportBytes is the on-air size of a data report (52 in the paper).
+	ReportBytes int
+	// PhaseBytes is the extra size of a piggybacked phase update.
+	PhaseBytes int
+	// FailureThreshold is the number of consecutive missed intervals
+	// (child side) or failed transmissions (parent side) before the node
+	// declares its neighbor failed. Zero disables failure detection.
+	FailureThreshold int
+	// Agg is the aggregation function; nil means MaxAgg.
+	Agg AggFunc
+	// Sampler produces this node's local measurement for interval k.
+	// Nil installs a deterministic default.
+	Sampler func(q ID, k int) float64
+}
+
+// DefaultConfig matches the paper's setup: 52-byte reports, 4-byte phase
+// piggyback, failure declared after 3 consecutive misses.
+func DefaultConfig() Config {
+	return Config{ReportBytes: 52, PhaseBytes: 4, FailureThreshold: 3}
+}
+
+// Stats counts agent-level outcomes at one node.
+type Stats struct {
+	// Samples is the number of local measurements produced.
+	Samples uint64
+	// ReportsSent counts scheduled aggregate reports submitted to the MAC.
+	ReportsSent uint64
+	// PassThroughsSent counts late partials forwarded unaggregated.
+	PassThroughsSent uint64
+	// Timeouts counts intervals closed by deadline with children missing.
+	Timeouts uint64
+	// SendFailures counts MAC-level delivery failures.
+	SendFailures uint64
+	// PhaseUpdatesSent counts reports that carried a phase piggyback.
+	PhaseUpdatesSent uint64
+	// LateReports counts child reports that arrived after their interval
+	// was closed.
+	LateReports uint64
+}
+
+type interval struct {
+	k        int
+	value    float64
+	coverage int
+	expected map[NodeID]bool // children owed for this interval
+	got      map[NodeID]bool
+	closed   bool
+	timeout  *sim.Event
+}
+
+type runtime struct {
+	spec        Spec
+	intervals   map[int]*interval
+	consecMiss  map[NodeID]int
+	lastClosedK int
+}
+
+// Agent runs the query service at one node.
+type Agent struct {
+	eng    *sim.Engine
+	id     NodeID
+	tree   *routing.Tree
+	shaper Shaper
+	send   SendFunc
+	sink   Sink
+	cfg    Config
+	agg    AggFunc
+
+	queries map[ID]*runtime
+	stats   Stats
+
+	consecSendFail int
+	onChildFailed  func(child NodeID)
+	onParentFailed func()
+	stopped        bool
+}
+
+// NewAgent wires a query agent. sink may be nil (non-root nodes); send
+// must deliver to the MAC or a power manager's gate.
+func NewAgent(eng *sim.Engine, id NodeID, tree *routing.Tree, shaper Shaper, send SendFunc, sink Sink, cfg Config) *Agent {
+	if cfg.ReportBytes <= 0 {
+		panic("query: ReportBytes must be positive")
+	}
+	agg := cfg.Agg
+	if agg == nil {
+		agg = MaxAgg
+	}
+	if cfg.Sampler == nil {
+		cfg.Sampler = func(q ID, k int) float64 { return float64(id) }
+	}
+	return &Agent{
+		eng:     eng,
+		id:      id,
+		tree:    tree,
+		shaper:  shaper,
+		send:    send,
+		sink:    sink,
+		cfg:     cfg,
+		agg:     agg,
+		queries: make(map[ID]*runtime),
+	}
+}
+
+// Stats returns a copy of the agent counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// Shaper returns the agent's shaper.
+func (a *Agent) Shaper() Shaper { return a.shaper }
+
+// SetFailureHandlers installs node-level callbacks fired when failure
+// detection trips: onChildFailed when a child missed FailureThreshold
+// consecutive intervals, onParentFailed when FailureThreshold consecutive
+// transmissions to the parent failed.
+func (a *Agent) SetFailureHandlers(onChildFailed func(child NodeID), onParentFailed func()) {
+	a.onChildFailed = onChildFailed
+	a.onParentFailed = onParentFailed
+}
+
+// Stop halts interval generation (used when a node is killed).
+func (a *Agent) Stop() { a.stopped = true }
+
+// Register installs a query at this node and schedules its intervals.
+// Must be called before the query's phase.
+func (a *Agent) Register(spec Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if _, dup := a.queries[spec.ID]; dup {
+		return fmt.Errorf("query %d: already registered", spec.ID)
+	}
+	rt := &runtime{
+		spec:        spec,
+		intervals:   make(map[int]*interval),
+		consecMiss:  make(map[NodeID]int),
+		lastClosedK: -1,
+	}
+	a.queries[spec.ID] = rt
+	a.shaper.QueryAdded(spec, a.tree.Children(a.id))
+	a.eng.Schedule(spec.Phase, func() { a.startInterval(rt, 0) })
+	return nil
+}
+
+func (a *Agent) startInterval(rt *runtime, k int) {
+	if a.stopped {
+		return
+	}
+	if _, ok := a.queries[rt.spec.ID]; !ok {
+		return // deregistered
+	}
+	// Schedule the next interval first so the chain never breaks.
+	a.eng.Schedule(rt.spec.IntervalStart(k+1), func() { a.startInterval(rt, k+1) })
+
+	iv := &interval{
+		k:        k,
+		value:    a.cfg.Sampler(rt.spec.ID, k),
+		coverage: 1,
+		expected: make(map[NodeID]bool),
+		got:      make(map[NodeID]bool),
+	}
+	a.stats.Samples++
+	rt.intervals[k] = iv
+	for _, c := range a.tree.Children(a.id) {
+		iv.expected[c] = true
+	}
+	if len(iv.expected) == 0 {
+		a.closeInterval(rt, iv)
+		return
+	}
+	deadline := a.shaper.CollectDeadline(rt.spec.ID, k)
+	if now := a.eng.Now(); deadline < now {
+		deadline = now
+	}
+	iv.timeout = a.eng.Schedule(deadline, func() {
+		iv.timeout = nil
+		a.stats.Timeouts++
+		a.closeInterval(rt, iv)
+	})
+}
+
+// closeInterval finalizes interval k: informs the shaper of missing
+// children, updates failure counters, and routes the aggregate.
+func (a *Agent) closeInterval(rt *runtime, iv *interval) {
+	if iv.closed {
+		return
+	}
+	iv.closed = true
+	if iv.timeout != nil {
+		iv.timeout.Cancel()
+		iv.timeout = nil
+	}
+	if iv.k > rt.lastClosedK {
+		rt.lastClosedK = iv.k
+	}
+	// Prune far-past intervals; anything arriving for them is treated as
+	// late and forwarded as a pass-through.
+	delete(rt.intervals, iv.k-8)
+
+	var missing []NodeID
+	for c := range iv.expected {
+		if !iv.got[c] {
+			missing = append(missing, c)
+		}
+	}
+	a.shaper.IntervalClosed(rt.spec.ID, iv.k, missing)
+	for _, c := range missing {
+		rt.consecMiss[c]++
+		if a.cfg.FailureThreshold > 0 && rt.consecMiss[c] >= a.cfg.FailureThreshold && a.onChildFailed != nil {
+			rt.consecMiss[c] = 0
+			a.onChildFailed(c)
+		}
+	}
+
+	if a.id == a.tree.Root() {
+		latency := a.eng.Now() - rt.spec.IntervalStart(iv.k)
+		if a.sink != nil {
+			a.sink.IntervalClosed(rt.spec.ID, iv.k, latency, iv.coverage)
+		}
+		return
+	}
+
+	rep := &Report{Query: rt.spec.ID, Interval: iv.k, Coverage: iv.coverage, Value: iv.value}
+	sendAt, phase := a.shaper.ReportReady(rt.spec.ID, iv.k, a.eng.Now())
+	rep.Phase = phase
+	if now := a.eng.Now(); sendAt < now {
+		sendAt = now
+	}
+	a.eng.Schedule(sendAt, func() { a.submit(rt, rep) })
+}
+
+func (a *Agent) submit(rt *runtime, rep *Report) {
+	if a.stopped {
+		return
+	}
+	parent := a.tree.Parent(a.id)
+	if parent == routing.None {
+		// Orphaned: our parent detached us (possibly a false-positive
+		// failure detection on a congested link). The report is lost;
+		// treat it as a send failure so the parent-failure path kicks in
+		// and re-attaches us to the tree.
+		a.stats.SendFailures++
+		if !rep.PassThrough {
+			a.shaper.ReportFailed(rep.Query, rep.Interval)
+		}
+		a.consecSendFail++
+		if a.cfg.FailureThreshold > 0 && a.consecSendFail >= a.cfg.FailureThreshold && a.onParentFailed != nil {
+			a.consecSendFail = 0
+			a.onParentFailed()
+		}
+		return
+	}
+	bytes := a.cfg.ReportBytes
+	if rep.Phase != NoPhase {
+		bytes += a.cfg.PhaseBytes
+		a.stats.PhaseUpdatesSent++
+	}
+	if rep.PassThrough {
+		a.stats.PassThroughsSent++
+	} else {
+		a.stats.ReportsSent++
+	}
+	a.send(parent, rep, bytes, func(ok bool) {
+		if a.stopped {
+			return
+		}
+		if !ok {
+			a.stats.SendFailures++
+			a.consecSendFail++
+			if !rep.PassThrough {
+				a.shaper.ReportFailed(rep.Query, rep.Interval)
+			}
+			if a.cfg.FailureThreshold > 0 && a.consecSendFail >= a.cfg.FailureThreshold && a.onParentFailed != nil {
+				a.consecSendFail = 0
+				a.onParentFailed()
+			}
+			return
+		}
+		a.consecSendFail = 0
+		if !rep.PassThrough {
+			a.shaper.ReportSent(rep.Query, rep.Interval)
+		}
+	})
+}
+
+// HandleReport processes a report received from a child (via the node's
+// MAC dispatcher).
+func (a *Agent) HandleReport(from NodeID, rep *Report) {
+	rt, ok := a.queries[rep.Query]
+	if !ok {
+		return // query not registered here (should not happen in-tree)
+	}
+	if a.id == a.tree.Root() && a.sink != nil {
+		latency := a.eng.Now() - rt.spec.IntervalStart(rep.Interval)
+		a.sink.ReportArrived(rep.Query, rep.Interval, latency, rep.Coverage)
+	}
+	if rep.PassThrough {
+		a.handleLate(rt, rep)
+		return
+	}
+	if a.tree.Parent(from) != a.id {
+		// Stale edge: a node we no longer parent (or never did) is still
+		// sending to us mid-recovery. Keep its data flowing but do not
+		// feed the per-child schedule.
+		a.handleLate(rt, rep)
+		return
+	}
+
+	rt.consecMiss[from] = 0
+	a.shaper.ReportReceived(rep.Query, from, rep.Interval, rep.Phase)
+
+	iv, open := rt.intervals[rep.Interval]
+	if !open || iv.closed {
+		a.stats.LateReports++
+		a.handleLate(rt, rep)
+		return
+	}
+	if iv.got[from] {
+		return // duplicate scheduled report (should be filtered by MAC)
+	}
+	iv.got[from] = true
+	iv.value = a.agg(iv.value, rep.Value)
+	iv.coverage += rep.Coverage
+
+	for c := range iv.expected {
+		if !iv.got[c] {
+			return // still waiting
+		}
+	}
+	a.closeInterval(rt, iv)
+}
+
+// handleLate merges a late or pass-through report into a still-open
+// interval if possible, otherwise forwards it upstream unchanged. This
+// keeps deep sources' data flowing to the root even when intermediate
+// deadlines fired, so root-side latency reflects true end-to-end delay.
+func (a *Agent) handleLate(rt *runtime, rep *Report) {
+	if iv, open := rt.intervals[rep.Interval]; open && !iv.closed {
+		iv.value = a.agg(iv.value, rep.Value)
+		iv.coverage += rep.Coverage
+		return
+	}
+	if a.id == a.tree.Root() {
+		return // already recorded by the sink
+	}
+	fwd := &Report{
+		Query:       rep.Query,
+		Interval:    rep.Interval,
+		Coverage:    rep.Coverage,
+		Value:       rep.Value,
+		Phase:       NoPhase,
+		PassThrough: true,
+	}
+	a.submit(rt, fwd)
+}
+
+// HandleControl routes shaper control traffic.
+func (a *Agent) HandleControl(from NodeID, msg any) {
+	a.shaper.ControlReceived(from, msg)
+}
+
+// ChildAdded registers a new dependency on child (it was re-parented
+// under this node). It takes effect from the next interval of each query.
+func (a *Agent) ChildAdded(child NodeID) {
+	for qid := range a.queries {
+		a.shaper.ChildAdded(qid, child)
+	}
+}
+
+// ChildRemoved drops the dependency on child: open intervals stop waiting
+// for it and the shaper forgets its expected reception times.
+func (a *Agent) ChildRemoved(child NodeID) {
+	for qid, rt := range a.queries {
+		a.shaper.ChildRemoved(qid, child)
+		delete(rt.consecMiss, child)
+		for _, iv := range rt.intervals {
+			if iv.closed || !iv.expected[child] {
+				continue
+			}
+			delete(iv.expected, child)
+			done := true
+			for c := range iv.expected {
+				if !iv.got[c] {
+					done = false
+					break
+				}
+			}
+			if done {
+				a.closeInterval(rt, iv)
+			}
+		}
+	}
+}
+
+// ParentChanged informs the shaper the node was re-parented.
+func (a *Agent) ParentChanged() {
+	for qid := range a.queries {
+		a.shaper.ParentChanged(qid)
+	}
+	a.consecSendFail = 0
+}
+
+// Deregister removes query q from this node: interval generation stops,
+// open intervals are abandoned, and the shaper forgets the schedule so
+// Safe Sleep no longer wakes the node for it. Unknown IDs are no-ops.
+func (a *Agent) Deregister(q ID) {
+	rt, ok := a.queries[q]
+	if !ok {
+		return
+	}
+	for _, iv := range rt.intervals {
+		if iv.timeout != nil {
+			iv.timeout.Cancel()
+		}
+		iv.closed = true
+	}
+	delete(a.queries, q)
+	a.shaper.QueryRemoved(q)
+}
+
+// Queries returns the IDs of registered queries in unspecified order.
+func (a *Agent) Queries() []ID {
+	out := make([]ID, 0, len(a.queries))
+	for id := range a.queries {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package routing
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/essat/essat/internal/mac"
+	"github.com/essat/essat/internal/phy"
+	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/sim"
+	"github.com/essat/essat/internal/topology"
+)
+
+// FromParents builds a tree from explicit parent pointers. Every key of
+// parents becomes a member; entries whose parent chain does not reach root
+// are rejected. Levels are the parent-chain depths and ranks are computed
+// bottom-up.
+func FromParents(topo *topology.Topology, root NodeID, parents map[NodeID]NodeID) (*Tree, error) {
+	n := topo.NumNodes()
+	if root < 0 || int(root) >= n {
+		return nil, fmt.Errorf("routing: root %d out of range [0,%d)", root, n)
+	}
+	t := &Tree{
+		topo:     topo,
+		root:     root,
+		parent:   make([]NodeID, n),
+		children: make([][]NodeID, n),
+		level:    make([]int, n),
+		rank:     make([]int, n),
+		member:   make([]bool, n),
+		alive:    make([]bool, n),
+	}
+	for i := range t.parent {
+		t.parent[i] = None
+		t.level[i] = -1
+	}
+	t.member[root] = true
+	t.alive[root] = true
+	t.level[root] = 0
+
+	for child, p := range parents {
+		if child == root {
+			return nil, fmt.Errorf("routing: root cannot have a parent")
+		}
+		if !topo.Connected(child, p) {
+			return nil, fmt.Errorf("routing: %d and its parent %d are not neighbors", child, p)
+		}
+		t.parent[child] = p
+		t.member[child] = true
+		t.alive[child] = true
+	}
+	for child := range parents {
+		t.children[t.parent[child]] = append(t.children[t.parent[child]], child)
+	}
+	// Levels via the parent chains; detect orphan chains and cycles.
+	var depth func(id NodeID, hops int) (int, error)
+	depth = func(id NodeID, hops int) (int, error) {
+		if hops > n {
+			return 0, fmt.Errorf("routing: cycle through node %d", id)
+		}
+		if t.level[id] >= 0 {
+			return t.level[id], nil
+		}
+		p := t.parent[id]
+		if p == None {
+			return 0, fmt.Errorf("routing: node %d does not reach the root", id)
+		}
+		d, err := depth(p, hops+1)
+		if err != nil {
+			return 0, err
+		}
+		t.level[id] = d + 1
+		return d + 1, nil
+	}
+	for child := range parents {
+		if _, err := depth(child, 0); err != nil {
+			return nil, err
+		}
+	}
+	t.RecomputeRanks()
+	return t, nil
+}
+
+// FloodConfig parameterizes the simulated setup flood.
+type FloodConfig struct {
+	// MaxDist restricts membership to nodes within this distance of the
+	// root (0 = unlimited); the paper uses 300 m.
+	MaxDist float64
+	// Jitter is the maximum random delay before a node rebroadcasts the
+	// setup request. Larger jitter lets more candidate parents arrive
+	// before a node commits, making trees shallower.
+	Jitter time.Duration
+	// SetupBytes is the on-air size of a setup request.
+	SetupBytes int
+	// Duration bounds the flood simulation.
+	Duration time.Duration
+	// MACCfg and ChannelCfg default to the standard parameters when zero.
+	MACCfg     mac.Config
+	ChannelCfg phy.Config
+}
+
+// DefaultFloodConfig returns the setup used for the paper's experiments.
+func DefaultFloodConfig() FloodConfig {
+	return FloodConfig{
+		MaxDist:    300,
+		Jitter:     20 * time.Millisecond,
+		SetupBytes: 14,
+		Duration:   5 * time.Second,
+	}
+}
+
+// setupMsg is the flooded setup request carrying the sender's tree level.
+type setupMsg struct {
+	level int
+}
+
+// floodStation is one node's state during the setup flood.
+type floodStation struct {
+	id        NodeID
+	eligible  bool
+	committed bool
+	bestLvl   int
+	bestFrom  NodeID
+	mac       *mac.MAC
+}
+
+type floodRx struct {
+	st  *floodStation
+	fn  func(st *floodStation, msg setupMsg, from NodeID)
+	mac *mac.MAC
+}
+
+func (r *floodRx) Deliver(src phy.NodeID, payload any, bytes int) {
+	if msg, ok := payload.(setupMsg); ok {
+		r.fn(r.st, msg, src)
+	}
+}
+
+// BuildFlood constructs the routing tree the way the paper's query service
+// does (§5): the root floods a setup request over the CSMA/CA MAC; each
+// node picks the lowest-level sender heard before its own (jittered)
+// rebroadcast as its parent. Contention and jitter produce the deeper,
+// less regular trees observed in the paper's ns-2 runs, in contrast to
+// the idealized min-hop trees of BuildBFS.
+//
+// The flood runs in its own throwaway simulation seeded with seed; the
+// resulting tree is returned for use in the real run.
+func BuildFlood(seed int64, topo *topology.Topology, root NodeID, cfg FloodConfig) (*Tree, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.SetupBytes <= 0 {
+		cfg.SetupBytes = 14
+	}
+	if cfg.Jitter <= 0 {
+		cfg.Jitter = 20 * time.Millisecond
+	}
+	macCfg := cfg.MACCfg
+	if macCfg.SlotTime == 0 {
+		macCfg = mac.DefaultConfig()
+	}
+	chCfg := cfg.ChannelCfg
+	if chCfg.BitRate == 0 {
+		chCfg = phy.DefaultConfig()
+	}
+
+	eng := sim.New(seed)
+	ch := phy.NewChannel(eng, topo, chCfg)
+	rootPos := topo.Position(root)
+
+	stations := make([]*floodStation, topo.NumNodes())
+
+	onSetup := func(st *floodStation, msg setupMsg, from NodeID) {
+		if !st.eligible || st.committed || st.id == root {
+			return
+		}
+		if st.bestFrom == None || msg.level < st.bestLvl {
+			first := st.bestFrom == None
+			st.bestLvl = msg.level
+			st.bestFrom = from
+			if first {
+				// Commit after a short jitter; whatever lower-level parent
+				// arrives in the window still wins.
+				delay := time.Duration(eng.Rand().Int63n(int64(cfg.Jitter)))
+				eng.After(delay, func() {
+					st.committed = true
+					st.mac.Send(phy.Broadcast, setupMsg{level: st.bestLvl + 1}, cfg.SetupBytes, nil)
+				})
+			}
+		}
+	}
+
+	for i := 0; i < topo.NumNodes(); i++ {
+		id := NodeID(i)
+		st := &floodStation{
+			id:       id,
+			eligible: cfg.MaxDist <= 0 || rootPos.InRange(topo.Position(id), cfg.MaxDist),
+			bestFrom: None,
+		}
+		rx := &floodRx{st: st, fn: onSetup}
+		r := radio.New(eng, radio.Config{})
+		st.mac = mac.New(eng, ch, id, r, macCfg, rx)
+		stations[i] = st
+	}
+
+	eng.Schedule(0, func() {
+		stations[root].committed = true
+		stations[root].mac.Send(phy.Broadcast, setupMsg{level: 0}, cfg.SetupBytes, nil)
+	})
+	eng.Run(cfg.Duration)
+
+	parents := make(map[NodeID]NodeID)
+	for _, st := range stations {
+		if st.id != root && st.bestFrom != None {
+			parents[st.id] = st.bestFrom
+		}
+	}
+	return FromParents(topo, root, parents)
+}

@@ -1,0 +1,172 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated components share a single Engine. Virtual time is a
+// time.Duration measured from the start of the simulation; no wall-clock
+// time is involved. Events scheduled for the same instant fire in the
+// order they were scheduled, which makes runs bit-for-bit reproducible
+// for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a handle to a scheduled callback. It may be canceled before it
+// fires. The zero value is not useful; Events are created by Engine.Schedule
+// and Engine.After.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int
+	canceled bool
+}
+
+// At returns the virtual time at which the event is scheduled to fire.
+func (ev *Event) At() time.Duration { return ev.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// Cancel prevents the event from firing. Canceling an event that already
+// fired or was already canceled is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// eventQueue is a binary min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler with a virtual clock.
+// It is not safe for concurrent use; a simulation runs on one goroutine.
+type Engine struct {
+	now       time.Duration
+	queue     eventQueue
+	seq       uint64
+	rng       *rand.Rand
+	processed uint64
+}
+
+// New returns an Engine whose random stream is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled,
+// including canceled events that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule registers fn to run at virtual time at. Scheduling in the past
+// panics: it always indicates a protocol bug, and silently reordering
+// time would corrupt every downstream metric.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After registers fn to run d from now. Negative d panics.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Step executes the next pending event, if any, advancing the clock to its
+// timestamp. It reports whether an event was executed. Canceled events are
+// discarded without executing and without counting as a step.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the next event is
+// scheduled after until. The clock is left at until (or at the last event
+// time if that is later, which cannot happen by construction). Run returns
+// the number of events executed.
+func (e *Engine) Run(until time.Duration) uint64 {
+	start := e.processed
+	for len(e.queue) > 0 {
+		// Peek without popping so a too-late event stays queued.
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.processed - start
+}
+
+// RunAll executes events until the queue is empty. It is intended for
+// tests; production scenarios should bound execution with Run.
+func (e *Engine) RunAll() uint64 {
+	start := e.processed
+	for e.Step() {
+	}
+	return e.processed - start
+}

@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewEngineStartsAtZero(t *testing.T) {
+	e := New(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAndStep(t *testing.T) {
+	e := New(1)
+	var fired []int
+	e.Schedule(10*time.Millisecond, func() { fired = append(fired, 1) })
+	e.Schedule(5*time.Millisecond, func() { fired = append(fired, 2) })
+
+	if !e.Step() {
+		t.Fatal("Step() = false, want true")
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("Now() = %v, want 5ms", e.Now())
+	}
+	if !e.Step() {
+		t.Fatal("Step() = false, want true")
+	}
+	if e.Step() {
+		t.Fatal("Step() = true on empty queue")
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 1 {
+		t.Fatalf("fired = %v, want [2 1]", fired)
+	}
+}
+
+func TestFIFOOrderingAtSameInstant(t *testing.T) {
+	e := New(1)
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { fired = append(fired, i) })
+	}
+	e.RunAll()
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("fired[%d] = %d, want %d (FIFO tie-break violated)", i, v, i)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	e.Schedule(3*time.Second, func() {
+		e.After(2*time.Second, func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 5*time.Second {
+		t.Fatalf("nested After fired at %v, want 5s", at)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := New(1)
+	ev := e.Schedule(time.Second, func() {})
+	ev.Cancel()
+	ev.Cancel()
+	if n := e.RunAll(); n != 0 {
+		t.Fatalf("RunAll() = %d events, want 0", n)
+	}
+}
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	for _, at := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	n := e.Run(2 * time.Second)
+	if n != 2 {
+		t.Fatalf("Run executed %d events, want 2", n)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	// The remaining event still fires on a later Run.
+	e.Run(10 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events total, want 3", len(fired))
+	}
+	if e.Now() != 10*time.Second {
+		t.Fatalf("Now() = %v, want clock advanced to 10s", e.Now())
+	}
+}
+
+func TestRunAdvancesClockWithEmptyQueue(t *testing.T) {
+	e := New(1)
+	e.Run(7 * time.Second)
+	if e.Now() != 7*time.Second {
+		t.Fatalf("Now() = %v, want 7s", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(500*time.Millisecond, func() {})
+	})
+	e.RunAll()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	e.Schedule(time.Second, nil)
+}
+
+func TestEventsScheduledDuringExecution(t *testing.T) {
+	e := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(time.Millisecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.RunAll()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Fatalf("Now() = %v, want 99ms", e.Now())
+	}
+}
+
+func TestProcessedCounts(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {})
+	}
+	e.RunAll()
+	if e.Processed() != 5 {
+		t.Fatalf("Processed() = %d, want 5", e.Processed())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []time.Duration {
+		e := New(seed)
+		var out []time.Duration
+		var step func()
+		step = func() {
+			out = append(out, e.Now())
+			if len(out) < 50 {
+				jitter := time.Duration(e.Rand().Intn(1000)) * time.Microsecond
+				e.After(jitter+time.Microsecond, step)
+			}
+		}
+		e.Schedule(0, step)
+		e.RunAll()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := true
+	for i := range a {
+		if i >= len(c) || a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestEventOrderInvariant checks with random schedules that execution
+// order is always sorted by (time, insertion order).
+func TestEventOrderInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New(seed)
+		n := 200
+		type rec struct {
+			at  time.Duration
+			seq int
+		}
+		scheduled := make([]rec, 0, n)
+		var fired []rec
+		for i := 0; i < n; i++ {
+			at := time.Duration(rng.Intn(50)) * time.Millisecond
+			r := rec{at: at, seq: i}
+			scheduled = append(scheduled, r)
+			e.Schedule(at, func() { fired = append(fired, r) })
+		}
+		e.RunAll()
+		if len(fired) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(1)
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j)*time.Microsecond, func() {})
+		}
+		e.RunAll()
+	}
+}
+
+func BenchmarkTimerWheelChurn(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.RunAll()
+}

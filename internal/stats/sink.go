@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"time"
+
+	"github.com/essat/essat/internal/query"
+)
+
+// intervalRec tracks one query interval as seen from the root.
+type intervalRec struct {
+	lastArrival time.Duration // max report latency observed (completion time)
+	coverage    int           // coverage at close (root aggregate)
+	closed      bool
+}
+
+// queryRec accumulates one query's root-side observations.
+type queryRec struct {
+	spec      query.Spec
+	intervals map[int]*intervalRec
+}
+
+// RootSink records per-report and per-interval observations at the tree
+// root. Query latency follows the paper's definition — the maximum time
+// for any source's data to reach the root — measured per interval as the
+// latency of the last report arriving for that interval, then averaged.
+type RootSink struct {
+	queries map[query.ID]*queryRec
+	// MeasureFrom discards intervals whose nominal start precedes this
+	// time (warm-up exclusion).
+	MeasureFrom time.Duration
+}
+
+var _ query.Sink = (*RootSink)(nil)
+
+// NewRootSink creates a sink for the given query specs.
+func NewRootSink(specs []query.Spec) *RootSink {
+	s := &RootSink{queries: make(map[query.ID]*queryRec)}
+	for _, spec := range specs {
+		s.queries[spec.ID] = &queryRec{spec: spec, intervals: make(map[int]*intervalRec)}
+	}
+	return s
+}
+
+func (s *RootSink) rec(q query.ID, k int) (*queryRec, *intervalRec, bool) {
+	qr, ok := s.queries[q]
+	if !ok {
+		return nil, nil, false
+	}
+	if qr.spec.IntervalStart(k) < s.MeasureFrom {
+		return qr, nil, false
+	}
+	ir, ok := qr.intervals[k]
+	if !ok {
+		ir = &intervalRec{}
+		qr.intervals[k] = ir
+	}
+	return qr, ir, true
+}
+
+// ReportArrived implements query.Sink.
+func (s *RootSink) ReportArrived(q query.ID, k int, latency time.Duration, coverage int) {
+	_, ir, ok := s.rec(q, k)
+	if !ok {
+		return
+	}
+	if latency > ir.lastArrival {
+		ir.lastArrival = latency
+	}
+}
+
+// IntervalClosed implements query.Sink.
+func (s *RootSink) IntervalClosed(q query.ID, k int, latency time.Duration, coverage int) {
+	_, ir, ok := s.rec(q, k)
+	if !ok {
+		return
+	}
+	ir.closed = true
+	ir.coverage = coverage
+}
+
+// LatencyByClass returns per-interval completion latencies grouped by
+// query class. Intervals with no arrivals at all (total data loss) are
+// skipped.
+func (s *RootSink) LatencyByClass() map[int][]time.Duration {
+	out := make(map[int][]time.Duration)
+	for _, qr := range s.queries {
+		for _, ir := range qr.intervals {
+			if ir.lastArrival > 0 {
+				out[qr.spec.Class] = append(out[qr.spec.Class], ir.lastArrival)
+			}
+		}
+	}
+	return out
+}
+
+// Latencies returns all per-interval completion latencies.
+func (s *RootSink) Latencies() []time.Duration {
+	var out []time.Duration
+	for _, ls := range s.LatencyByClass() {
+		out = append(out, ls...)
+	}
+	return out
+}
+
+// MeanCoverage returns the average root coverage of closed intervals:
+// how many source samples the root's aggregate folded in per interval.
+func (s *RootSink) MeanCoverage() float64 {
+	var w Welford
+	for _, qr := range s.queries {
+		for _, ir := range qr.intervals {
+			if ir.closed {
+				w.Add(float64(ir.coverage))
+			}
+		}
+	}
+	return w.Mean()
+}
+
+// ClosedIntervals returns the number of intervals the root closed.
+func (s *RootSink) ClosedIntervals() int {
+	n := 0
+	for _, qr := range s.queries {
+		for _, ir := range qr.intervals {
+			if ir.closed {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"testing"
+	"time"
+
+	"github.com/essat/essat/internal/query"
+)
+
+func sinkSpecs() []query.Spec {
+	return []query.Spec{
+		{ID: 1, Period: time.Second, Phase: 0, Class: 1},
+		{ID: 2, Period: 2 * time.Second, Phase: 500 * time.Millisecond, Class: 2},
+	}
+}
+
+func TestRootSinkLatencyIsMaxArrival(t *testing.T) {
+	s := NewRootSink(sinkSpecs())
+	s.ReportArrived(1, 0, 30*time.Millisecond, 1)
+	s.ReportArrived(1, 0, 80*time.Millisecond, 3)
+	s.ReportArrived(1, 0, 50*time.Millisecond, 2)
+	got := s.LatencyByClass()[1]
+	if len(got) != 1 || got[0] != 80*time.Millisecond {
+		t.Fatalf("latencies = %v, want [80ms] (max arrival)", got)
+	}
+}
+
+func TestRootSinkGroupsByClass(t *testing.T) {
+	s := NewRootSink(sinkSpecs())
+	s.ReportArrived(1, 0, 10*time.Millisecond, 1)
+	s.ReportArrived(2, 0, 20*time.Millisecond, 1)
+	by := s.LatencyByClass()
+	if len(by[1]) != 1 || len(by[2]) != 1 {
+		t.Fatalf("by class = %v", by)
+	}
+	if got := len(s.Latencies()); got != 2 {
+		t.Fatalf("Latencies() = %d entries, want 2", got)
+	}
+}
+
+func TestRootSinkMeasureFromExcludesWarmup(t *testing.T) {
+	s := NewRootSink(sinkSpecs())
+	s.MeasureFrom = 5 * time.Second
+	s.ReportArrived(1, 2, 40*time.Millisecond, 1) // interval start 2s < 5s
+	s.ReportArrived(1, 7, 40*time.Millisecond, 1) // interval start 7s >= 5s
+	if got := len(s.Latencies()); got != 1 {
+		t.Fatalf("latencies = %d, want 1 (warm-up excluded)", got)
+	}
+}
+
+func TestRootSinkCoverage(t *testing.T) {
+	s := NewRootSink(sinkSpecs())
+	s.IntervalClosed(1, 0, 100*time.Millisecond, 10)
+	s.IntervalClosed(1, 1, 100*time.Millisecond, 20)
+	if got := s.MeanCoverage(); got != 15 {
+		t.Fatalf("MeanCoverage = %v, want 15", got)
+	}
+	if got := s.ClosedIntervals(); got != 2 {
+		t.Fatalf("ClosedIntervals = %d, want 2", got)
+	}
+}
+
+func TestRootSinkUnknownQueryIgnored(t *testing.T) {
+	s := NewRootSink(sinkSpecs())
+	s.ReportArrived(99, 0, time.Millisecond, 1)
+	s.IntervalClosed(99, 0, time.Millisecond, 1)
+	if len(s.Latencies()) != 0 || s.ClosedIntervals() != 0 {
+		t.Fatal("unknown query leaked into metrics")
+	}
+}

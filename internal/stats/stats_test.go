@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.CI90() != 0 {
+		t.Fatal("zero-value Welford should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d, want 8", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(50)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 100
+			w.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		directVar := ss / float64(n-1)
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Var()-directVar) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI90SmallSample(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{10, 12, 14, 16, 18} {
+		w.Add(x)
+	}
+	// n=5, df=4, t=2.132; s = sqrt(10); CI = 2.132*sqrt(10)/sqrt(5).
+	want := 2.132 * math.Sqrt(10) / math.Sqrt(5)
+	if math.Abs(w.CI90()-want) > 1e-9 {
+		t.Fatalf("CI90 = %v, want %v", w.CI90(), want)
+	}
+}
+
+func TestCI90LargeSampleUsesNormal(t *testing.T) {
+	var w Welford
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		w.Add(rng.Float64())
+	}
+	want := 1.645 * w.Std() / math.Sqrt(1000)
+	if math.Abs(w.CI90()-want) > 1e-12 {
+		t.Fatalf("CI90 = %v, want normal-based %v", w.CI90(), want)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(25*time.Millisecond, 8)
+	h.Add(10 * time.Millisecond)  // bin 0
+	h.Add(25 * time.Millisecond)  // bin 1 (boundary goes up)
+	h.Add(70 * time.Millisecond)  // bin 2
+	h.Add(300 * time.Millisecond) // overflow
+	h.Add(-time.Millisecond)      // clamped to bin 0
+
+	counts := h.Counts()
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if h.Overflow() != 1 {
+		t.Fatalf("Overflow = %d, want 1", h.Overflow())
+	}
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total())
+	}
+}
+
+func TestHistogramFractionBelow(t *testing.T) {
+	h := NewHistogram(10*time.Millisecond, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(time.Duration(i*10+5) * time.Millisecond) // one per bin
+	}
+	if got := h.FractionBelow(50 * time.Millisecond); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("FractionBelow(50ms) = %v, want 0.5", got)
+	}
+	// Partial bin prorated: 25ms covers bins 0,1 fully... bin 0 and half
+	// of bin 1 and beyond: 1 + 0.5 of bin 2? 25ms = bin 0 (0-10), bin 1
+	// (10-20), half of bin 2 (20-30): (1 + 1 + 0.5)/10.
+	if got := h.FractionBelow(25 * time.Millisecond); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("FractionBelow(25ms) = %v, want 0.25", got)
+	}
+	if got := h.FractionBelow(0); got != 0 {
+		t.Fatalf("FractionBelow(0) = %v, want 0", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram accepted")
+		}
+	}()
+	NewHistogram(0, 5)
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	ds := []time.Duration{
+		5 * time.Millisecond, 1 * time.Millisecond, 3 * time.Millisecond,
+		2 * time.Millisecond, 4 * time.Millisecond,
+	}
+	s := SummarizeDurations(ds)
+	if s.N != 5 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 3*time.Millisecond {
+		t.Fatalf("Mean = %v, want 3ms", s.Mean)
+	}
+	if s.P50 != 3*time.Millisecond {
+		t.Fatalf("P50 = %v, want 3ms", s.P50)
+	}
+	if s.Max != 5*time.Millisecond {
+		t.Fatalf("Max = %v, want 5ms", s.Max)
+	}
+	// Input must not be reordered.
+	if ds[0] != 5*time.Millisecond {
+		t.Fatal("SummarizeDurations mutated its input")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := SummarizeDurations(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}

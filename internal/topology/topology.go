@@ -1,0 +1,182 @@
+// Package topology models the static deployment of a sensor network: node
+// positions, the disc connectivity graph induced by radio range, and root
+// selection. It corresponds to the experimental setup of the ESSAT paper
+// (§5): nodes placed uniformly at random in a square, unit-disc links, and
+// the root chosen as the node closest to the center of the area.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/essat/essat/internal/geom"
+)
+
+// NodeID identifies a node in a deployment. IDs are dense, starting at 0.
+type NodeID int
+
+// Topology is an immutable deployment: positions plus the connectivity
+// graph implied by the communication range.
+type Topology struct {
+	positions []geom.Point
+	rangeM    float64
+	neighbors [][]NodeID
+}
+
+// Config describes a random deployment.
+type Config struct {
+	// NumNodes is the number of nodes to place.
+	NumNodes int
+	// AreaSide is the side of the square deployment area in meters.
+	AreaSide float64
+	// Range is the communication range in meters (unit-disc model).
+	Range float64
+}
+
+// DefaultConfig returns the deployment used throughout the paper's
+// evaluation: 80 nodes in a 500x500 m² area with 125 m range.
+func DefaultConfig() Config {
+	return Config{NumNodes: 80, AreaSide: 500, Range: 125}
+}
+
+// NewRandom places cfg.NumNodes nodes uniformly at random using rng.
+func NewRandom(rng *rand.Rand, cfg Config) (*Topology, error) {
+	if cfg.NumNodes <= 0 {
+		return nil, fmt.Errorf("topology: NumNodes must be positive, got %d", cfg.NumNodes)
+	}
+	if cfg.AreaSide <= 0 || cfg.Range <= 0 {
+		return nil, fmt.Errorf("topology: AreaSide and Range must be positive, got %g and %g", cfg.AreaSide, cfg.Range)
+	}
+	pts := geom.UniformPlacement(rng, cfg.NumNodes, cfg.AreaSide)
+	return FromPositions(pts, cfg.Range)
+}
+
+// FromPositions builds a topology from explicit positions, computing the
+// neighbor lists for the given communication range.
+func FromPositions(pts []geom.Point, rangeM float64) (*Topology, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("topology: no positions")
+	}
+	if rangeM <= 0 {
+		return nil, fmt.Errorf("topology: range must be positive, got %g", rangeM)
+	}
+	t := &Topology{
+		positions: append([]geom.Point(nil), pts...),
+		rangeM:    rangeM,
+		neighbors: make([][]NodeID, len(pts)),
+	}
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].InRange(pts[j], rangeM) {
+				t.neighbors[i] = append(t.neighbors[i], NodeID(j))
+				t.neighbors[j] = append(t.neighbors[j], NodeID(i))
+			}
+		}
+	}
+	return t, nil
+}
+
+// NumNodes returns the number of nodes in the deployment.
+func (t *Topology) NumNodes() int { return len(t.positions) }
+
+// Range returns the communication range in meters.
+func (t *Topology) Range() float64 { return t.rangeM }
+
+// Position returns the position of node id.
+func (t *Topology) Position(id NodeID) geom.Point { return t.positions[id] }
+
+// Positions returns a copy of all node positions, indexed by NodeID.
+func (t *Topology) Positions() []geom.Point {
+	return append([]geom.Point(nil), t.positions...)
+}
+
+// Neighbors returns the nodes within communication range of id. The
+// returned slice must not be modified.
+func (t *Topology) Neighbors(id NodeID) []NodeID { return t.neighbors[id] }
+
+// Degree returns the number of neighbors of id.
+func (t *Topology) Degree(id NodeID) int { return len(t.neighbors[id]) }
+
+// Connected reports whether a and b are within communication range.
+func (t *Topology) Connected(a, b NodeID) bool {
+	return a != b && t.positions[a].InRange(t.positions[b], t.rangeM)
+}
+
+// CentralNode returns the node closest to the center of the bounding area,
+// the paper's root-selection policy.
+func (t *Topology) CentralNode() NodeID {
+	return NodeID(geom.Closest(t.positions, geom.Centroid(t.positions)))
+}
+
+// CentralNodeOf returns the node closest to an explicit area center, for
+// deployments where the centroid of placed nodes is not the area center.
+func (t *Topology) CentralNodeOf(center geom.Point) NodeID {
+	return NodeID(geom.Closest(t.positions, center))
+}
+
+// Levels returns the hop distance from root to every node via BFS over the
+// connectivity graph, with -1 for unreachable nodes.
+func (t *Topology) Levels(root NodeID) []int {
+	levels := make([]int, len(t.positions))
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[root] = 0
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.neighbors[cur] {
+			if levels[nb] == -1 {
+				levels[nb] = levels[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return levels
+}
+
+// WithinDistance returns the IDs of all nodes whose Euclidean distance to
+// node id is at most d meters, excluding id itself. The paper restricts the
+// routing tree to nodes within 300 m of the root.
+func (t *Topology) WithinDistance(id NodeID, d float64) []NodeID {
+	var out []NodeID
+	p := t.positions[id]
+	for j := range t.positions {
+		if NodeID(j) == id {
+			continue
+		}
+		if p.InRange(t.positions[j], d) {
+			out = append(out, NodeID(j))
+		}
+	}
+	return out
+}
+
+// IsConnectedSubset reports whether every node in ids can reach root using
+// only hops within the set (root included implicitly).
+func (t *Topology) IsConnectedSubset(root NodeID, ids []NodeID) bool {
+	in := make(map[NodeID]bool, len(ids)+1)
+	in[root] = true
+	for _, id := range ids {
+		in[id] = true
+	}
+	seen := map[NodeID]bool{root: true}
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.neighbors[cur] {
+			if in[nb] && !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			return false
+		}
+	}
+	return true
+}

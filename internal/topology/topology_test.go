@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/essat/essat/internal/geom"
+)
+
+func mustFromPositions(t *testing.T, pts []geom.Point, r float64) *Topology {
+	t.Helper()
+	topo, err := FromPositions(pts, r)
+	if err != nil {
+		t.Fatalf("FromPositions: %v", err)
+	}
+	return topo
+}
+
+func TestNewRandomValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewRandom(rng, Config{NumNodes: 0, AreaSide: 10, Range: 5}); err == nil {
+		t.Error("want error for zero nodes")
+	}
+	if _, err := NewRandom(rng, Config{NumNodes: 5, AreaSide: -1, Range: 5}); err == nil {
+		t.Error("want error for negative area")
+	}
+	if _, err := NewRandom(rng, Config{NumNodes: 5, AreaSide: 10, Range: 0}); err == nil {
+		t.Error("want error for zero range")
+	}
+}
+
+func TestChainTopology(t *testing.T) {
+	topo := mustFromPositions(t, geom.LinePlacement(5, 100), 125)
+	// Each interior node reaches exactly its two neighbors at 100m spacing
+	// with 125m range.
+	if got := topo.Degree(0); got != 1 {
+		t.Fatalf("Degree(0) = %d, want 1", got)
+	}
+	if got := topo.Degree(2); got != 2 {
+		t.Fatalf("Degree(2) = %d, want 2", got)
+	}
+	if !topo.Connected(1, 2) {
+		t.Error("adjacent chain nodes not connected")
+	}
+	if topo.Connected(0, 2) {
+		t.Error("nodes 200m apart connected with 125m range")
+	}
+	if topo.Connected(3, 3) {
+		t.Error("node connected to itself")
+	}
+}
+
+func TestNeighborSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo, err := NewRandom(rng, Config{NumNodes: 30, AreaSide: 300, Range: 100})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < topo.NumNodes(); i++ {
+			for _, nb := range topo.Neighbors(NodeID(i)) {
+				found := false
+				for _, back := range topo.Neighbors(nb) {
+					if back == NodeID(i) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelsChain(t *testing.T) {
+	topo := mustFromPositions(t, geom.LinePlacement(5, 100), 125)
+	levels := topo.Levels(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if levels[i] != want {
+			t.Fatalf("levels[%d] = %d, want %d", i, levels[i], want)
+		}
+	}
+}
+
+func TestLevelsUnreachable(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 100}, {X: 1000}}
+	topo := mustFromPositions(t, pts, 125)
+	levels := topo.Levels(0)
+	if levels[2] != -1 {
+		t.Fatalf("levels[2] = %d, want -1 (unreachable)", levels[2])
+	}
+}
+
+func TestCentralNode(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 5, Y: 1}, {X: 0, Y: 10}, {X: 10, Y: 10}}
+	topo := mustFromPositions(t, pts, 50)
+	// Centroid is (5, 4.2); node 2 at (5,1) is closest.
+	if got := topo.CentralNode(); got != 2 {
+		t.Fatalf("CentralNode = %d, want 2", got)
+	}
+	if got := topo.CentralNodeOf(geom.Point{X: 0, Y: 0}); got != 0 {
+		t.Fatalf("CentralNodeOf(origin) = %d, want 0", got)
+	}
+}
+
+func TestWithinDistance(t *testing.T) {
+	topo := mustFromPositions(t, geom.LinePlacement(5, 100), 125)
+	got := topo.WithinDistance(0, 300)
+	if len(got) != 3 {
+		t.Fatalf("WithinDistance = %v, want 3 nodes", got)
+	}
+	for _, id := range got {
+		if id == 0 {
+			t.Fatal("WithinDistance includes the node itself")
+		}
+	}
+}
+
+func TestPaperScaleDeploymentIsMostlyConnected(t *testing.T) {
+	// With 80 nodes in 500x500 and 125m range the expected node degree is
+	// ~15, so the network should be connected in nearly every seed. Check a
+	// handful of seeds and require the vast majority of nodes reachable.
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		topo, err := NewRandom(rng, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := topo.CentralNode()
+		levels := topo.Levels(root)
+		reachable := 0
+		for _, l := range levels {
+			if l >= 0 {
+				reachable++
+			}
+		}
+		if reachable < 70 {
+			t.Errorf("seed %d: only %d/80 nodes reachable", seed, reachable)
+		}
+	}
+}
+
+func TestIsConnectedSubset(t *testing.T) {
+	topo := mustFromPositions(t, geom.LinePlacement(5, 100), 125)
+	if !topo.IsConnectedSubset(0, []NodeID{1, 2, 3}) {
+		t.Error("contiguous chain prefix should be connected")
+	}
+	if topo.IsConnectedSubset(0, []NodeID{1, 3}) {
+		t.Error("chain with gap should not be connected")
+	}
+}
+
+func TestPositionsReturnsCopy(t *testing.T) {
+	topo := mustFromPositions(t, geom.LinePlacement(3, 100), 125)
+	ps := topo.Positions()
+	ps[0] = geom.Point{X: 999}
+	if topo.Position(0).X == 999 {
+		t.Error("Positions() exposed internal storage")
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock(at *time.Duration) func() time.Duration {
+	return func() time.Duration { return *at }
+}
+
+func TestDisabledTracerIsNoOp(t *testing.T) {
+	var nilTracer *Tracer
+	nilTracer.Record(1, RadioSleep, "")
+	if nilTracer.Enabled() || nilTracer.Total() != 0 || nilTracer.Events() != nil {
+		t.Fatal("nil tracer should be fully inert")
+	}
+	zero := &Tracer{}
+	zero.Record(1, RadioSleep, "")
+	if zero.Enabled() || zero.Total() != 0 {
+		t.Fatal("zero-value tracer should be disabled")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	at := time.Duration(0)
+	tr := New(10, fixedClock(&at))
+	at = time.Second
+	tr.Record(3, RadioSleep, "")
+	at = 2 * time.Second
+	tr.Recordf(4, PhaseShift, "s(k+1)=%v", 2500*time.Millisecond)
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != RadioSleep || evs[0].Node != 3 || evs[0].At != time.Second {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if !strings.Contains(evs[1].Detail, "2.5s") {
+		t.Fatalf("formatted detail = %q", evs[1].Detail)
+	}
+	if tr.Total() != 2 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+}
+
+func TestRingBufferEviction(t *testing.T) {
+	at := time.Duration(0)
+	tr := New(3, fixedClock(&at))
+	for i := 0; i < 5; i++ {
+		at = time.Duration(i) * time.Second
+		tr.Record(1, MACSend, "")
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	// Chronological order with the oldest two evicted.
+	if evs[0].At != 2*time.Second || evs[2].At != 4*time.Second {
+		t.Fatalf("events = %v", evs)
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", tr.Total())
+	}
+}
+
+func TestFilterAndCount(t *testing.T) {
+	at := time.Duration(0)
+	tr := New(10, fixedClock(&at))
+	tr.Record(1, MACSend, "")
+	tr.Record(2, MACSend, "")
+	tr.Record(1, MACRetry, "")
+	if got := tr.Count(MACSend); got != 2 {
+		t.Fatalf("Count(MACSend) = %d", got)
+	}
+	if got := tr.Filter(MACSend, 1); len(got) != 1 {
+		t.Fatalf("Filter(MACSend, 1) = %v", got)
+	}
+	if got := tr.Filter(MACSend, -1); len(got) != 2 {
+		t.Fatalf("Filter(MACSend, any) = %v", got)
+	}
+}
+
+func TestDump(t *testing.T) {
+	at := time.Second
+	tr := New(4, fixedClock(&at))
+	tr.Record(7, Reparented, "under 3")
+	var sb strings.Builder
+	tr.Dump(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "reparented") || !strings.Contains(out, "under 3") {
+		t.Fatalf("dump output = %q", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{RadioSleep, RadioWake, MACSend, MACRetry, MACDrop,
+		ReportGenerated, ReportAggregated, ReportDelivered, IntervalTimeout,
+		PhaseShift, PhaseRequest, NodeFailed, Reparented}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Error("unknown kind fallback broken")
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity accepted")
+		}
+	}()
+	New(0, func() time.Duration { return 0 })
+}
