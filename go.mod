@@ -1,0 +1,3 @@
+module github.com/essat/essat
+
+go 1.21
