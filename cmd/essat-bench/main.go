@@ -1,18 +1,25 @@
 // Command essat-bench regenerates the data behind every figure of the
 // paper's evaluation (Figures 2-9 plus the §4.2.3 overhead measurement)
-// and prints each as an aligned text table.
+// and prints each as an aligned text table. With -benchjson it also
+// records simulator throughput (wall time, events/sec, simulated
+// seconds/sec) per figure and for the whole suite, the format behind the
+// checked-in BENCH_*.json files (see BENCHMARKS.md).
 //
 // Examples:
 //
-//	essat-bench                    # every figure, quick setting
-//	essat-bench -paper             # the paper's full 200s × 5-seed setting
-//	essat-bench -fig 3 -fig 6      # just Figures 3 and 6
+//	essat-bench                            # every figure, quick setting
+//	essat-bench -paper                     # the paper's full 200s × 5-seed setting
+//	essat-bench -fig 3 -fig 6              # just Figures 3 and 6
+//	essat-bench -parallel 8                # bound the worker pool at 8
+//	essat-bench -benchjson BENCH_after.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,12 +35,38 @@ func (f *figList) Set(v string) error {
 	return nil
 }
 
+// figBench is one figure's throughput record in the -benchjson output.
+type figBench struct {
+	ID           string  `json:"id"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Runs         uint64  `json:"runs"`
+	Events       uint64  `json:"events"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	SimSecPerSec float64 `json:"sim_seconds_per_sec"`
+}
+
+// benchReport is the top-level -benchjson document.
+type benchReport struct {
+	GoVersion   string     `json:"go_version"`
+	NumCPU      int        `json:"num_cpu"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	Parallelism int        `json:"parallelism"` // effective worker bound (GOMAXPROCS when -parallel is 0)
+	DurationSec float64    `json:"run_duration_seconds"`
+	Seeds       int        `json:"seeds"`
+	Nodes       int        `json:"nodes"`
+	Figures     []figBench `json:"figures"`
+	Total       figBench   `json:"total"`
+}
+
 func main() {
 	var figs figList
 	var (
 		paper    = flag.Bool("paper", false, "use the paper's full setting (200s runs, 5 seeds) instead of the quick one")
 		duration = flag.Duration("duration", 0, "override run duration")
 		seeds    = flag.Int("seeds", 0, "override seeds per point")
+		parallel = flag.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS)")
+		outJSON  = flag.String("benchjson", "", "write a throughput report (wall time, events/sec, sim-seconds/sec) to this file")
 	)
 	ablations := flag.Bool("ablations", false, "also run the DESIGN.md ablation and robustness studies")
 	flag.Var(&figs, "fig", "figure to regenerate (2-9 or 'overhead'); repeatable, default all")
@@ -49,6 +82,7 @@ func main() {
 	if *seeds > 0 {
 		o.Seeds = *seeds
 	}
+	o.Parallelism = *parallel
 
 	if len(figs) == 0 {
 		figs = figList{"2", "3", "4", "5", "6", "7", "8", "9", "overhead"}
@@ -58,10 +92,22 @@ func main() {
 			"robustness-loss", "robustness-failures", "lifetime")
 	}
 
+	report := benchReport{
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: o.EffectiveParallelism(),
+		DurationSec: o.Duration.Seconds(),
+		Seeds:       o.Seeds,
+		Nodes:       o.Nodes,
+	}
+
 	start := time.Now()
 	for _, f := range figs {
 		var fig *essat.Figure
 		var err error
+		essat.ResetRunCounters()
+		figStart := time.Now()
 		switch f {
 		case "2":
 			fig, err = essat.Fig2Deadline(o, nil)
@@ -100,8 +146,47 @@ func main() {
 			fmt.Fprintln(os.Stderr, "essat-bench:", err)
 			os.Exit(1)
 		}
+		report.Figures = append(report.Figures, throughput(fig.ID, time.Since(figStart)))
 		essat.PrintFigure(os.Stdout, fig)
 		fmt.Println()
 	}
-	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
+	wall := time.Since(start)
+	fmt.Printf("total wall time: %v\n", wall.Round(time.Second))
+
+	if *outJSON != "" {
+		report.Total = figBench{ID: "total", WallSeconds: wall.Seconds()}
+		for _, fb := range report.Figures {
+			report.Total.Runs += fb.Runs
+			report.Total.Events += fb.Events
+			report.Total.SimSeconds += fb.SimSeconds
+		}
+		report.Total.EventsPerSec = float64(report.Total.Events) / wall.Seconds()
+		report.Total.SimSecPerSec = report.Total.SimSeconds / wall.Seconds()
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "essat-bench:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*outJSON, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "essat-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("throughput report written to %s\n", *outJSON)
+	}
+}
+
+// throughput snapshots the run counters accumulated since the last reset
+// into one figure's bench record.
+func throughput(id string, wall time.Duration) figBench {
+	runs, events, simSec := essat.RunCounters()
+	return figBench{
+		ID:           id,
+		WallSeconds:  wall.Seconds(),
+		Runs:         runs,
+		Events:       events,
+		SimSeconds:   simSec,
+		EventsPerSec: float64(events) / wall.Seconds(),
+		SimSecPerSec: simSec / wall.Seconds(),
+	}
 }

@@ -27,7 +27,10 @@
 //	// res.DutyCycle, res.Latency, ...
 //
 // See examples/ for runnable programs and cmd/essat-bench for the full
-// figure suite.
+// figure suite. The figure drivers execute their (protocol, parameter,
+// seed) grids on a bounded worker pool with deterministic aggregation —
+// output is byte-identical for any worker count; see BENCHMARKS.md for
+// the benchmark workflow and the BENCH_*.json throughput format.
 package essat
 
 import (
@@ -221,3 +224,15 @@ func Lifetime(o Options, batteryJ float64) (*Figure, error) {
 
 // PrintFigure renders a figure as an aligned text table.
 func PrintFigure(w io.Writer, f *Figure) { f.Fprint(w) }
+
+// ResetRunCounters zeroes the global simulator-work counters used by
+// benchmarking tools (see RunCounters).
+func ResetRunCounters() { experiment.ResetRunCounters() }
+
+// RunCounters returns the number of Run invocations, simulator events
+// executed, and simulated seconds elapsed since the last ResetRunCounters,
+// aggregated across all goroutines. cmd/essat-bench derives events/sec
+// and simulated-seconds/sec from these for the BENCH_*.json reports.
+func RunCounters() (runs, events uint64, simSeconds float64) {
+	return experiment.RunCounters()
+}

@@ -106,7 +106,7 @@ func TestDisseminationRelayReceivesAndForwards(t *testing.T) {
 		t.Fatal(err)
 	}
 	// SS expects the parent's copy at r(0) = 0.5s + 2·50ms = 0.6s.
-	if got := ss.nextRecv[recvKey{dspec.ID, -2}]; got != 600*time.Millisecond {
+	if got := ss.recvTime(dspec.ID, -2); got != 600*time.Millisecond {
 		t.Fatalf("rnext = %v, want 600ms", got)
 	}
 	// The copy arrives on time.
@@ -122,7 +122,7 @@ func TestDisseminationRelayReceivesAndForwards(t *testing.T) {
 		t.Fatalf("sent = %+v", env.sent)
 	}
 	// SS now expects interval 1 at 1.6s.
-	if got := ss.nextRecv[recvKey{dspec.ID, -2}]; got != 1600*time.Millisecond {
+	if got := ss.recvTime(dspec.ID, -2); got != 1600*time.Millisecond {
 		t.Fatalf("rnext = %v after k=0, want 1.6s", got)
 	}
 }

@@ -86,6 +86,17 @@ type SafeSleepOptions struct {
 	AwakeUntil time.Duration
 }
 
+// sendEntry and recvEntry are the rows of SafeSleep's expectation tables.
+type sendEntry struct {
+	q query.ID
+	t time.Duration
+}
+
+type recvEntry struct {
+	key recvKey
+	t   time.Duration
+}
+
 // SafeSleep is the local sleep scheduler (§4.1, Fig. 1). It tracks, per
 // query, the expected reception time of the next data report from each
 // child (q.rnext(c)) and the expected send time of the node's next report
@@ -97,11 +108,15 @@ type SafeSleep struct {
 	radio *radio.Radio
 	opts  SafeSleepOptions
 
-	nextSend map[query.ID]time.Duration
-	nextRecv map[recvKey]time.Duration
+	// nextSend and nextRecv are small linear tables (a handful of queries
+	// and children per node): CheckState scans them on every radio-idle
+	// transition, and linear scans beat map iteration at this size.
+	nextSend []sendEntry
+	nextRecv []recvEntry
 
 	wakeEv *sim.Event
 	wakeAt time.Duration
+	wakeFn func() // prebound wake-up callback
 	stats  SleepStats
 }
 
@@ -117,11 +132,13 @@ func NewSafeSleep(eng *sim.Engine, r *radio.Radio, opts SafeSleepOptions) *SafeS
 		opts.MACBusy = func() bool { return false }
 	}
 	ss := &SafeSleep{
-		eng:      eng,
-		radio:    r,
-		opts:     opts,
-		nextSend: make(map[query.ID]time.Duration),
-		nextRecv: make(map[recvKey]time.Duration),
+		eng:   eng,
+		radio: r,
+		opts:  opts,
+	}
+	ss.wakeFn = func() {
+		ss.wakeEv = nil
+		ss.radio.TurnOn()
 	}
 	// Re-evaluate whenever the radio settles into Idle: after a wake-up
 	// (expectations may have vanished while asleep), after a transmission,
@@ -158,17 +175,46 @@ func (ss *SafeSleep) HoldAwake(until time.Duration) {
 	ss.eng.Schedule(until, ss.CheckState)
 }
 
+// findSend returns the index of q's row in nextSend, or -1.
+func (ss *SafeSleep) findSend(q query.ID) int {
+	for i := range ss.nextSend {
+		if ss.nextSend[i].q == q {
+			return i
+		}
+	}
+	return -1
+}
+
+// findRecv returns the index of k's row in nextRecv, or -1.
+func (ss *SafeSleep) findRecv(k recvKey) int {
+	for i := range ss.nextRecv {
+		if ss.nextRecv[i].key == k {
+			return i
+		}
+	}
+	return -1
+}
+
 // UpdateNextSend records q.snext, the node's expected send time for query
 // q, and re-evaluates the sleep schedule (updateNextSend in Fig. 1).
 func (ss *SafeSleep) UpdateNextSend(q query.ID, t time.Duration) {
-	ss.nextSend[q] = t
+	if i := ss.findSend(q); i >= 0 {
+		ss.nextSend[i].t = t
+	} else {
+		ss.nextSend = append(ss.nextSend, sendEntry{q: q, t: t})
+	}
 	ss.CheckState()
 }
 
 // UpdateNextReceive records q.rnext(c) for child c and re-evaluates
 // (updateNextReceive in Fig. 1).
 func (ss *SafeSleep) UpdateNextReceive(q query.ID, c query.NodeID, t time.Duration) {
-	ss.nextRecv[recvKey{q, c}] = t
+	k := recvKey{q, c}
+	if i := ss.findRecv(k); i >= 0 {
+		ss.nextRecv[i].t = t
+	} else {
+		ss.nextRecv = append(ss.nextRecv, recvEntry{key: k, t: t})
+	}
 	ss.CheckState()
 }
 
@@ -176,19 +222,48 @@ func (ss *SafeSleep) UpdateNextReceive(q query.ID, c query.NodeID, t time.Durati
 // "the stale expected send and reception times of the failed node used
 // by SS are removed".
 func (ss *SafeSleep) RemoveChild(q query.ID, c query.NodeID) {
-	delete(ss.nextRecv, recvKey{q, c})
+	if i := ss.findRecv(recvKey{q, c}); i >= 0 {
+		ss.nextRecv = append(ss.nextRecv[:i], ss.nextRecv[i+1:]...)
+	}
 	ss.CheckState()
 }
 
 // RemoveQuery forgets all state for q (query deregistration).
 func (ss *SafeSleep) RemoveQuery(q query.ID) {
-	delete(ss.nextSend, q)
-	for k := range ss.nextRecv {
-		if k.q == q {
-			delete(ss.nextRecv, k)
+	for i := 0; i < len(ss.nextSend); i++ {
+		if ss.nextSend[i].q == q {
+			ss.nextSend = append(ss.nextSend[:i], ss.nextSend[i+1:]...)
+			i--
+		}
+	}
+	for i := 0; i < len(ss.nextRecv); i++ {
+		if ss.nextRecv[i].key.q == q {
+			ss.nextRecv = append(ss.nextRecv[:i], ss.nextRecv[i+1:]...)
+			i--
 		}
 	}
 	ss.CheckState()
+}
+
+// sendTime returns the recorded snext for q, or zero if absent.
+func (ss *SafeSleep) sendTime(q query.ID) time.Duration {
+	if i := ss.findSend(q); i >= 0 {
+		return ss.nextSend[i].t
+	}
+	return 0
+}
+
+// recvTime returns the recorded rnext for (q, c), or zero if absent.
+func (ss *SafeSleep) recvTime(q query.ID, c query.NodeID) time.Duration {
+	if i := ss.findRecv(recvKey{q, c}); i >= 0 {
+		return ss.nextRecv[i].t
+	}
+	return 0
+}
+
+// hasRecv reports whether an rnext entry exists for (q, c).
+func (ss *SafeSleep) hasRecv(q query.ID, c query.NodeID) bool {
+	return ss.findRecv(recvKey{q, c}) >= 0
 }
 
 // earliest returns the minimum expected event time, and false if no
@@ -196,13 +271,13 @@ func (ss *SafeSleep) RemoveQuery(q query.ID) {
 func (ss *SafeSleep) earliest() (time.Duration, bool) {
 	var min time.Duration
 	found := false
-	for _, t := range ss.nextSend {
-		if !found || t < min {
+	for i := range ss.nextSend {
+		if t := ss.nextSend[i].t; !found || t < min {
 			min, found = t, true
 		}
 	}
-	for _, t := range ss.nextRecv {
-		if !found || t < min {
+	for i := range ss.nextRecv {
+		if t := ss.nextRecv[i].t; !found || t < min {
 			min, found = t, true
 		}
 	}
@@ -271,8 +346,5 @@ func (ss *SafeSleep) scheduleWake(twakeup time.Duration) {
 		ss.wakeEv.Cancel()
 	}
 	ss.wakeAt = at
-	ss.wakeEv = ss.eng.Schedule(at, func() {
-		ss.wakeEv = nil
-		ss.radio.TurnOn()
-	})
+	ss.wakeEv = ss.eng.Schedule(at, ss.wakeFn)
 }

@@ -75,12 +75,12 @@ func TestNTSSchedule(t *testing.T) {
 	}
 	// snext advances on send.
 	n.ReportSent(1, 1)
-	if got := ss.nextSend[1]; got != 4*time.Second {
+	if got := ss.sendTime(1); got != 4*time.Second {
 		t.Fatalf("snext = %v after sending k=1, want 4s", got)
 	}
 	// rnext advances on receive.
 	n.ReportReceived(1, 7, 2, query.NoPhase)
-	if got := ss.nextRecv[recvKey{1, 7}]; got != 5*time.Second {
+	if got := ss.recvTime(1, 7); got != 5*time.Second {
 		t.Fatalf("rnext = %v after receiving k=2, want 5s", got)
 	}
 	_ = eng
@@ -101,11 +101,11 @@ func TestNTSIntervalClosedAdvancesMissing(t *testing.T) {
 	n := NewNTS(env, ss)
 	n.QueryAdded(testSpec, []query.NodeID{7, 8})
 	n.IntervalClosed(1, 0, []query.NodeID{8})
-	if got := ss.nextRecv[recvKey{1, 8}]; got != 3*time.Second {
+	if got := ss.recvTime(1, 8); got != 3*time.Second {
 		t.Fatalf("rnext(8) = %v after timeout of k=0, want 3s", got)
 	}
 	// Child 7 (which did report) is advanced by ReportReceived, not here.
-	if got := ss.nextRecv[recvKey{1, 7}]; got != 2*time.Second {
+	if got := ss.recvTime(1, 7); got != 2*time.Second {
 		t.Fatalf("rnext(7) = %v, want unchanged 2s", got)
 	}
 }
@@ -127,7 +127,7 @@ func TestSTSSchedule(t *testing.T) {
 		t.Fatalf("Buffered = %d, want 1", s.Stats().Buffered)
 	}
 	// r(k, c) = φ + kP + l·rank(c) = 2s + 100ms for the rank-1 child.
-	if got := ss.nextRecv[recvKey{1, 7}]; got != 2100*time.Millisecond {
+	if got := ss.recvTime(1, 7); got != 2100*time.Millisecond {
 		t.Fatalf("rnext(7) = %v, want 2.1s", got)
 	}
 	// A late report goes immediately.
@@ -188,7 +188,7 @@ func TestDTSOnTimeKeepsSchedule(t *testing.T) {
 		t.Fatalf("ReportReady = (%v, %v), want (2s, NoPhase)", sendAt, phase)
 	}
 	d.ReportSent(1, 0)
-	if got := ss.nextSend[1]; got != 3*time.Second {
+	if got := ss.sendTime(1); got != 3*time.Second {
 		t.Fatalf("snext = %v, want 3s", got)
 	}
 	if d.Stats().PhaseShifts != 0 {
@@ -214,7 +214,7 @@ func TestDTSPhaseShiftOnLateReport(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 shift and 1 update", d.Stats())
 	}
 	d.ReportSent(1, 0)
-	if got := ss.nextSend[1]; got != readyAt+time.Second {
+	if got := ss.sendTime(1); got != readyAt+time.Second {
 		t.Fatalf("snext = %v, want shifted schedule", got)
 	}
 	// Next interval ready on (shifted) time: no new shift.
@@ -231,12 +231,12 @@ func TestDTSParentTracksChildPhase(t *testing.T) {
 
 	// Report 0 without phase: r(1) = r(0) + P.
 	d.ReportReceived(1, 7, 0, query.NoPhase)
-	if got := ss.nextRecv[recvKey{1, 7}]; got != 3*time.Second {
+	if got := ss.recvTime(1, 7); got != 3*time.Second {
 		t.Fatalf("rnext = %v, want 3s", got)
 	}
 	// Report 1 with a phase update: adopt it directly.
 	d.ReportReceived(1, 7, 1, 4200*time.Millisecond)
-	if got := ss.nextRecv[recvKey{1, 7}]; got != 4200*time.Millisecond {
+	if got := ss.recvTime(1, 7); got != 4200*time.Millisecond {
 		t.Fatalf("rnext = %v, want the piggybacked 4.2s", got)
 	}
 }
@@ -254,7 +254,7 @@ func TestDTSGapTriggersResync(t *testing.T) {
 		t.Fatalf("phase requests = %v, want one to child 7", env.phaseReqs)
 	}
 	// The node must stay awake for this child: rnext pinned to now.
-	if got := ss.nextRecv[recvKey{1, 7}]; got != eng.Now() {
+	if got := ss.recvTime(1, 7); got != eng.Now() {
 		t.Fatalf("rnext = %v, want pinned to now (%v)", got, eng.Now())
 	}
 	// Still unsynced on the next phase-less report: request again.
@@ -264,14 +264,14 @@ func TestDTSGapTriggersResync(t *testing.T) {
 	}
 	// A phase update ends the resync.
 	d.ReportReceived(1, 7, 4, 9*time.Second)
-	if got := ss.nextRecv[recvKey{1, 7}]; got != 9*time.Second {
+	if got := ss.recvTime(1, 7); got != 9*time.Second {
 		t.Fatalf("rnext = %v, want 9s", got)
 	}
 	d.ReportReceived(1, 7, 5, query.NoPhase)
 	if len(env.phaseReqs) != 2 {
 		t.Fatal("resync flag not cleared by the phase update")
 	}
-	if got := ss.nextRecv[recvKey{1, 7}]; got != 10*time.Second {
+	if got := ss.recvTime(1, 7); got != 10*time.Second {
 		t.Fatalf("rnext = %v, want 10s (normal +P advance resumed)", got)
 	}
 }
@@ -311,7 +311,7 @@ func TestDTSReportFailedAdvancesAndFlags(t *testing.T) {
 	d.QueryAdded(testSpec, nil)
 	_, _ = d.ReportReady(1, 0, 2*time.Second)
 	d.ReportFailed(1, 0)
-	if got := ss.nextSend[1]; got != 3*time.Second {
+	if got := ss.sendTime(1); got != 3*time.Second {
 		t.Fatalf("snext = %v after failed send, want advanced to 3s", got)
 	}
 	_, phase := d.ReportReady(1, 1, 3*time.Second)
@@ -326,7 +326,7 @@ func TestDTSChildAddedStaysAwakeUntilFirstReport(t *testing.T) {
 	d.QueryAdded(testSpec, nil)
 	eng.Run(5 * time.Second)
 	d.ChildAdded(1, 7)
-	if got := ss.nextRecv[recvKey{1, 7}]; got != eng.Now() {
+	if got := ss.recvTime(1, 7); got != eng.Now() {
 		t.Fatalf("rnext = %v for a new child, want now (stay awake)", got)
 	}
 	// First report (with phase, per ParentChanged on the child side)
@@ -342,7 +342,7 @@ func TestDTSChildRemovedForgetsState(t *testing.T) {
 	d := NewDTS(env, ss)
 	d.QueryAdded(testSpec, []query.NodeID{7})
 	d.ChildRemoved(1, 7)
-	if _, ok := ss.nextRecv[recvKey{1, 7}]; ok {
+	if ss.hasRecv(1, 7) {
 		t.Fatal("SS still tracks the removed child")
 	}
 	_ = env

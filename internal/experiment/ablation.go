@@ -25,23 +25,22 @@ func AblationBreakEvenGuard(o Options) (*Figure, error) {
 		{"naive (tBE=0)", 0},
 	}
 	rates := []float64{1, 3, 5}
+	results, err := runMatrix(o, len(variants)*len(rates), func(i int, seed int64) Scenario {
+		sc := o.scenario(DTSSS, seed)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = QueryClasses(rng, rates[i%len(rates)], 1, 10*time.Second)
+		sc.SSBreakEven = variants[i/len(rates)].tbe
+		return sc
+	})
+	if err != nil {
+		return nil, err
+	}
 	var series []Series
-	for _, v := range variants {
-		v := v
+	for vi, v := range variants {
 		s := Series{Name: v.name}
-		for _, rate := range rates {
-			rate := rate
-			pt, err := runSeeds(o, rate, func(seed int64) Scenario {
-				sc := o.scenario(DTSSS, seed)
-				rng := rand.New(rand.NewSource(seed * 7919))
-				sc.Queries = QueryClasses(rng, rate, 1, 10*time.Second)
-				sc.SSBreakEven = v.tbe
-				return sc
-			}, func(r *Result) float64 { return r.DutyCycle * 100 })
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, pt)
+		for ri, rate := range rates {
+			s.Points = append(s.Points, pointFrom(rate, results[vi*len(rates)+ri],
+				func(r *Result) float64 { return r.DutyCycle * 100 }))
 		}
 		series = append(series, s)
 	}
@@ -68,36 +67,32 @@ func AblationBuffering(o Options) (*Figure, error) {
 		{"buffered (paper)", false},
 		{"greedy early send", true},
 	}
+	rates := []float64{1, 3, 5}
+	results, err := runMatrix(o, len(variants)*len(rates), func(i int, seed int64) Scenario {
+		sc := o.scenario(DTSSS, seed)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = QueryClasses(rng, rates[i%len(rates)], 1, 10*time.Second)
+		sc.NoBuffering = variants[i/len(rates)].off
+		return sc
+	})
+	if err != nil {
+		return nil, err
+	}
 	var duty, fails []Series
-	for _, v := range variants {
-		v := v
+	for vi, v := range variants {
 		sd := Series{Name: v.name + " duty%"}
 		sf := Series{Name: v.name + " fails/1k"}
-		for _, rate := range []float64{1, 3, 5} {
-			rate := rate
-			build := func(seed int64) Scenario {
-				sc := o.scenario(DTSSS, seed)
-				rng := rand.New(rand.NewSource(seed * 7919))
-				sc.Queries = QueryClasses(rng, rate, 1, 10*time.Second)
-				sc.NoBuffering = v.off
-				return sc
-			}
-			pd, err := runSeeds(o, rate, build, func(r *Result) float64 { return r.DutyCycle * 100 })
-			if err != nil {
-				return nil, err
-			}
-			pf, err := runSeeds(o, rate, build, func(r *Result) float64 {
+		for ri, rate := range rates {
+			rs := results[vi*len(rates)+ri]
+			sd.Points = append(sd.Points, pointFrom(rate, rs,
+				func(r *Result) float64 { return r.DutyCycle * 100 }))
+			sf.Points = append(sf.Points, pointFrom(rate, rs, func(r *Result) float64 {
 				total := r.MACSent + r.MACFailed
 				if total == 0 {
 					return 0
 				}
 				return float64(r.MACFailed) / float64(total) * 1000
-			})
-			if err != nil {
-				return nil, err
-			}
-			sd.Points = append(sd.Points, pd)
-			sf.Points = append(sf.Points, pf)
+			}))
 		}
 		duty = append(duty, sd)
 		fails = append(fails, sf)
@@ -123,23 +118,23 @@ func AblationTreeConstruction(o Options) (*Figure, error) {
 		{"flood tree (paper)", false},
 		{"min-hop BFS tree", true},
 	}
+	rates := []float64{1, 3, 5}
+	results, err := runMatrix(o, len(variants)*len(rates), func(i int, seed int64) Scenario {
+		sc := o.scenario(DTSSS, seed)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = QueryClasses(rng, rates[i%len(rates)], 1, 10*time.Second)
+		sc.BFSTree = variants[i/len(rates)].bfs
+		return sc
+	})
+	if err != nil {
+		return nil, err
+	}
 	var series []Series
-	for _, v := range variants {
-		v := v
+	for vi, v := range variants {
 		s := Series{Name: v.name}
-		for _, rate := range []float64{1, 3, 5} {
-			rate := rate
-			pt, err := runSeeds(o, rate, func(seed int64) Scenario {
-				sc := o.scenario(DTSSS, seed)
-				rng := rand.New(rand.NewSource(seed * 7919))
-				sc.Queries = QueryClasses(rng, rate, 1, 10*time.Second)
-				sc.BFSTree = v.bfs
-				return sc
-			}, func(r *Result) float64 { return r.DutyCycle * 100 })
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, pt)
+		for ri, rate := range rates {
+			s.Points = append(s.Points, pointFrom(rate, results[vi*len(rates)+ri],
+				func(r *Result) float64 { return r.DutyCycle * 100 }))
 		}
 		series = append(series, s)
 	}
@@ -163,24 +158,23 @@ func RobustnessLoss(o Options, lossRates []float64) (*Figure, error) {
 		lossRates = []float64{0, 0.05, 0.1, 0.2}
 	}
 	protos := []Protocol{DTSSS, STSSS, NTSSS}
+	results, err := runMatrix(o, len(protos)*len(lossRates), func(i int, seed int64) Scenario {
+		sc := o.scenario(protos[i/len(lossRates)], seed)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = QueryClasses(rng, 1, 1, 10*time.Second)
+		sc.LossRate = lossRates[i%len(lossRates)]
+		sc.QueryCfg.FailureThreshold = 3
+		return sc
+	})
+	if err != nil {
+		return nil, err
+	}
 	var series []Series
-	for _, p := range protos {
-		p := p
+	for pi, p := range protos {
 		s := Series{Name: string(p) + " coverage%"}
-		for _, loss := range lossRates {
-			loss := loss
-			pt, err := runSeeds(o, loss*100, func(seed int64) Scenario {
-				sc := o.scenario(p, seed)
-				rng := rand.New(rand.NewSource(seed * 7919))
-				sc.Queries = QueryClasses(rng, 1, 1, 10*time.Second)
-				sc.LossRate = loss
-				sc.QueryCfg.FailureThreshold = 3
-				return sc
-			}, func(r *Result) float64 { return r.Coverage / float64(r.TreeSize) * 100 })
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, pt)
+		for li, loss := range lossRates {
+			s.Points = append(s.Points, pointFrom(loss*100, results[pi*len(lossRates)+li],
+				func(r *Result) float64 { return r.Coverage / float64(r.TreeSize) * 100 }))
 		}
 		series = append(series, s)
 	}
@@ -202,40 +196,36 @@ func RobustnessFailures(o Options, failureCounts []int) (*Figure, error) {
 	if len(failureCounts) == 0 {
 		failureCounts = []int{0, 1, 2, 4}
 	}
+	results, err := runMatrix(o, len(failureCounts), func(i int, seed int64) Scenario {
+		fc := failureCounts[i]
+		sc := o.scenario(DTSSS, seed)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = QueryClasses(rng, 1, 1, 10*time.Second)
+		sc.QueryCfg.FailureThreshold = 3
+		for j := 0; j < fc; j++ {
+			sc.Failures = append(sc.Failures, Failure{
+				At:   sc.Duration/4 + time.Duration(j)*sc.Duration/8,
+				Node: -1,
+			})
+		}
+		return sc
+	})
+	if err != nil {
+		return nil, err
+	}
 	var cov, duty Series
 	cov.Name = "coverage % of survivors"
 	duty.Name = "duty cycle %"
-	for _, fc := range failureCounts {
-		fc := fc
-		build := func(seed int64) Scenario {
-			sc := o.scenario(DTSSS, seed)
-			rng := rand.New(rand.NewSource(seed * 7919))
-			sc.Queries = QueryClasses(rng, 1, 1, 10*time.Second)
-			sc.QueryCfg.FailureThreshold = 3
-			for i := 0; i < fc; i++ {
-				sc.Failures = append(sc.Failures, Failure{
-					At:   sc.Duration/4 + time.Duration(i)*sc.Duration/8,
-					Node: -1,
-				})
-			}
-			return sc
-		}
-		pc, err := runSeeds(o, float64(fc), build, func(r *Result) float64 {
+	for i, fc := range failureCounts {
+		cov.Points = append(cov.Points, pointFrom(float64(fc), results[i], func(r *Result) float64 {
 			alive := float64(r.TreeSize - fc)
 			if alive <= 0 {
 				return 0
 			}
 			return r.Coverage / alive * 100
-		})
-		if err != nil {
-			return nil, err
-		}
-		pd, err := runSeeds(o, float64(fc), build, func(r *Result) float64 { return r.DutyCycle * 100 })
-		if err != nil {
-			return nil, err
-		}
-		cov.Points = append(cov.Points, pc)
-		duty.Points = append(duty.Points, pd)
+		}))
+		duty.Points = append(duty.Points, pointFrom(float64(fc), results[i],
+			func(r *Result) float64 { return r.DutyCycle * 100 }))
 	}
 	return &Figure{
 		ID:     "robustness-failures",

@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// runCounters aggregates simulator work across Run calls so benchmarking
+// tools (cmd/essat-bench) can report events/sec and simulated-seconds/sec
+// for a whole figure sweep without threading collectors through every
+// driver. Counters are atomic: figure sweeps run scenarios in parallel.
+var runCounters struct {
+	runs   atomic.Uint64
+	events atomic.Uint64
+	simNS  atomic.Int64
+}
+
+// ResetRunCounters zeroes the global run counters.
+func ResetRunCounters() {
+	runCounters.runs.Store(0)
+	runCounters.events.Store(0)
+	runCounters.simNS.Store(0)
+}
+
+// RunCounters returns the number of Run invocations, simulator events
+// executed, and simulated seconds elapsed since the last reset.
+func RunCounters() (runs, events uint64, simSeconds float64) {
+	runs = runCounters.runs.Load()
+	events = runCounters.events.Load()
+	simSeconds = time.Duration(runCounters.simNS.Load()).Seconds()
+	return
+}
+
+func countRun(sc Scenario, events uint64) {
+	runCounters.runs.Add(1)
+	runCounters.events.Add(events)
+	runCounters.simNS.Add(int64(sc.Duration))
+}

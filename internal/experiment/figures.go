@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/essat/essat/internal/stats"
@@ -36,6 +37,11 @@ func PaperOptions() Options {
 func QuickOptions() Options {
 	return Options{Duration: 40 * time.Second, Seeds: 2, Nodes: 80}
 }
+
+// EffectiveParallelism returns the worker-pool bound the figure drivers
+// will use for these options: Parallelism, or GOMAXPROCS when unset.
+// Benchmarking tools record this rather than re-deriving the default.
+func (o Options) EffectiveParallelism() int { return o.normalized().Parallelism }
 
 func (o Options) normalized() Options {
 	if o.Duration <= 0 {
@@ -121,32 +127,87 @@ func (f *Figure) Fprint(w io.Writer) {
 	}
 }
 
-// runSeeds executes build(seed) for each seed in parallel and aggregates
-// metric(result) into a Point at x.
-func runSeeds(o Options, x float64, build func(seed int64) Scenario, metric func(*Result) float64) (Point, error) {
-	results := make([]*Result, o.Seeds)
-	errs := make([]error, o.Seeds)
+// runJob is one scenario execution in a figure's job grid.
+type runJob struct {
+	build func() Scenario
+	res   *Result
+	err   error
+}
+
+// runGrid executes jobs on a bounded worker pool of o.Parallelism
+// goroutines (each Run is single-goroutine and independent, so the whole
+// (figure, protocol, x, seed) grid parallelizes). Results land in the job
+// slots, so downstream aggregation happens in the caller's deterministic
+// order regardless of worker count; the first error in job order wins.
+func runGrid(o Options, jobs []*runJob) error {
+	workers := o.Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			if j.res, j.err = Run(j.build()); j.err != nil {
+				return j.err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.Parallelism)
-	for i := 0; i < o.Seeds; i++ {
-		i := i
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = Run(build(int64(i + 1)))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				jobs[i].res, jobs[i].err = Run(jobs[i].build())
+			}
 		}()
 	}
 	wg.Wait()
-	var w stats.Welford
-	for i := range results {
-		if errs[i] != nil {
-			return Point{}, errs[i]
+	for _, j := range jobs {
+		if j.err != nil {
+			return j.err
 		}
-		w.Add(metric(results[i]))
 	}
-	return Point{X: x, Mean: w.Mean(), CI90: w.CI90(), N: w.N()}, nil
+	return nil
+}
+
+// runMatrix runs build(i, seed) for every point index i and seed 1..Seeds
+// through one pooled grid and returns results[i] in seed order.
+func runMatrix(o Options, n int, build func(i int, seed int64) Scenario) ([][]*Result, error) {
+	jobs := make([]*runJob, 0, n*o.Seeds)
+	for i := 0; i < n; i++ {
+		for s := 1; s <= o.Seeds; s++ {
+			i, s := i, s
+			jobs = append(jobs, &runJob{build: func() Scenario { return build(i, int64(s)) }})
+		}
+	}
+	if err := runGrid(o, jobs); err != nil {
+		return nil, err
+	}
+	out := make([][]*Result, n)
+	k := 0
+	for i := range out {
+		out[i] = make([]*Result, o.Seeds)
+		for s := 0; s < o.Seeds; s++ {
+			out[i][s] = jobs[k].res
+			k++
+		}
+	}
+	return out, nil
+}
+
+// pointFrom aggregates metric over one point's seed-ordered results.
+func pointFrom(x float64, results []*Result, metric func(*Result) float64) Point {
+	var w stats.Welford
+	for _, r := range results {
+		w.Add(metric(r))
+	}
+	return Point{X: x, Mean: w.Mean(), CI90: w.CI90(), N: w.N()}
 }
 
 func (o Options) scenario(p Protocol, seed int64) Scenario {
@@ -171,26 +232,24 @@ func Fig2Deadline(o Options, deadlines []time.Duration) (*Figure, error) {
 		}
 	}
 	const baseRate = 1.0
+	results, err := runMatrix(o, len(deadlines), func(i int, seed int64) Scenario {
+		sc := o.scenario(STSSS, seed)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = QueryClasses(rng, baseRate, 1, 10*time.Second)
+		sc.STSDeadline = deadlines[i]
+		return sc
+	})
+	if err != nil {
+		return nil, err
+	}
 	duty := Series{Name: "duty cycle (%)"}
 	lat := Series{Name: "query latency (s)"}
-	for _, d := range deadlines {
-		d := d
-		var dw, lw stats.Welford
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			sc := o.scenario(STSSS, seed)
-			rng := rand.New(rand.NewSource(seed * 7919))
-			sc.Queries = QueryClasses(rng, baseRate, 1, 10*time.Second)
-			sc.STSDeadline = d
-			res, err := Run(sc)
-			if err != nil {
-				return nil, err
-			}
-			dw.Add(res.DutyCycle * 100)
-			lw.Add(res.Latency.Mean.Seconds())
-		}
+	for i, d := range deadlines {
 		x := d.Seconds()
-		duty.Points = append(duty.Points, Point{X: x, Mean: dw.Mean(), CI90: dw.CI90(), N: dw.N()})
-		lat.Points = append(lat.Points, Point{X: x, Mean: lw.Mean(), CI90: lw.CI90(), N: lw.N()})
+		duty.Points = append(duty.Points, pointFrom(x, results[i],
+			func(r *Result) float64 { return r.DutyCycle * 100 }))
+		lat.Points = append(lat.Points, pointFrom(x, results[i],
+			func(r *Result) float64 { return r.Latency.Mean.Seconds() }))
 	}
 	return &Figure{
 		ID:     "fig2",
@@ -201,21 +260,23 @@ func Fig2Deadline(o Options, deadlines []time.Duration) (*Figure, error) {
 	}, nil
 }
 
-// protocolSweep runs every protocol across x values produced by build.
+// protocolSweep runs every (protocol, x, seed) combination through one
+// pooled job grid and aggregates metric per point.
 func protocolSweep(o Options, protos []Protocol, xs []float64,
 	build func(p Protocol, x float64, seed int64) Scenario,
 	metric func(*Result) float64) ([]Series, error) {
 
+	results, err := runMatrix(o, len(protos)*len(xs), func(i int, seed int64) Scenario {
+		return build(protos[i/len(xs)], xs[i%len(xs)], seed)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Series
-	for _, p := range protos {
+	for pi, p := range protos {
 		s := Series{Name: string(p)}
-		for _, x := range xs {
-			p, x := p, x
-			pt, err := runSeeds(o, x, func(seed int64) Scenario { return build(p, x, seed) }, metric)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, pt)
+		for xi, x := range xs {
+			s.Points = append(s.Points, pointFrom(x, results[pi*len(xs)+xi], metric))
 		}
 		out = append(out, s)
 	}
@@ -291,18 +352,19 @@ func Fig4DutyVsQueries(o Options, counts []int) (*Figure, error) {
 func Fig5DutyByRank(o Options) (*Figure, error) {
 	o = o.normalized()
 	protos := []Protocol{DTSSS, STSSS, NTSSS}
+	results, err := runMatrix(o, len(protos), func(i int, seed int64) Scenario {
+		sc := o.scenario(protos[i], seed)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = QueryClasses(rng, 5, 1, 10*time.Second)
+		return sc
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Series
-	for _, p := range protos {
-		p := p
+	for pi, p := range protos {
 		byRank := make(map[int]*stats.Welford)
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			sc := o.scenario(p, seed)
-			rng := rand.New(rand.NewSource(seed * 7919))
-			sc.Queries = QueryClasses(rng, 5, 1, 10*time.Second)
-			res, err := Run(sc)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results[pi] {
 			for r, d := range res.DutyByRank {
 				if byRank[r] == nil {
 					byRank[r] = &stats.Welford{}
@@ -402,22 +464,24 @@ func Fig7LatencyVsQueries(o Options, counts []int) (*Figure, error) {
 func Fig8SleepHistogram(o Options) (*Figure, []float64, error) {
 	o = o.normalized()
 	protos := []Protocol{DTSSS, STSSS, NTSSS}
+	results, err := runMatrix(o, len(protos), func(i int, seed int64) Scenario {
+		sc := o.scenario(protos[i], seed)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = QueryClasses(rng, 5, 1, 10*time.Second)
+		sc.SSBreakEven = 0
+		sc.RadioCfg.TurnOnDelay = 0
+		sc.RadioCfg.TurnOffDelay = 0
+		sc.RecordSleepIntervals = true
+		return sc
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	var out []Series
 	var below25 []float64
-	for _, p := range protos {
+	for pi, p := range protos {
 		hist := stats.NewHistogram(25*time.Millisecond, 8)
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			sc := o.scenario(p, seed)
-			rng := rand.New(rand.NewSource(seed * 7919))
-			sc.Queries = QueryClasses(rng, 5, 1, 10*time.Second)
-			sc.SSBreakEven = 0
-			sc.RadioCfg.TurnOnDelay = 0
-			sc.RadioCfg.TurnOffDelay = 0
-			sc.RecordSleepIntervals = true
-			res, err := Run(sc)
-			if err != nil {
-				return nil, nil, err
-			}
+		for _, res := range results[pi] {
 			for _, d := range res.SleepIntervals {
 				hist.Add(d)
 			}
@@ -455,23 +519,22 @@ func Fig9BreakEven(o Options, rates []float64) (*Figure, error) {
 		rates = []float64{1, 2, 3, 4, 5}
 	}
 	tbes := []time.Duration{0, 2500 * time.Microsecond, 10 * time.Millisecond, 40 * time.Millisecond}
+	results, err := runMatrix(o, len(tbes)*len(rates), func(i int, seed int64) Scenario {
+		sc := o.scenario(DTSSS, seed)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = QueryClasses(rng, rates[i%len(rates)], 1, 10*time.Second)
+		sc.SSBreakEven = tbes[i/len(rates)]
+		return sc
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Series
-	for _, tbe := range tbes {
-		tbe := tbe
+	for ti, tbe := range tbes {
 		s := Series{Name: fmt.Sprintf("TBE=%v", tbe)}
-		for _, rate := range rates {
-			rate := rate
-			pt, err := runSeeds(o, rate, func(seed int64) Scenario {
-				sc := o.scenario(DTSSS, seed)
-				rng := rand.New(rand.NewSource(seed * 7919))
-				sc.Queries = QueryClasses(rng, rate, 1, 10*time.Second)
-				sc.SSBreakEven = tbe
-				return sc
-			}, func(r *Result) float64 { return r.DutyCycle * 100 })
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, pt)
+		for ri, rate := range rates {
+			s.Points = append(s.Points, pointFrom(rate, results[ti*len(rates)+ri],
+				func(r *Result) float64 { return r.DutyCycle * 100 }))
 		}
 		out = append(out, s)
 	}
@@ -492,19 +555,19 @@ func OverheadPhaseUpdates(o Options, rates []float64) (*Figure, error) {
 	if len(rates) == 0 {
 		rates = []float64{1, 2, 3, 4, 5}
 	}
+	results, err := runMatrix(o, len(rates), func(i int, seed int64) Scenario {
+		sc := o.scenario(DTSSS, seed)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = QueryClasses(rng, rates[i], 1, 10*time.Second)
+		return sc
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := Series{Name: "DTS-SS phase bits/report"}
-	for _, rate := range rates {
-		rate := rate
-		pt, err := runSeeds(o, rate, func(seed int64) Scenario {
-			sc := o.scenario(DTSSS, seed)
-			rng := rand.New(rand.NewSource(seed * 7919))
-			sc.Queries = QueryClasses(rng, rate, 1, 10*time.Second)
-			return sc
-		}, func(r *Result) float64 { return r.PhaseUpdateBitsPerReport })
-		if err != nil {
-			return nil, err
-		}
-		s.Points = append(s.Points, pt)
+	for i, rate := range rates {
+		s.Points = append(s.Points, pointFrom(rate, results[i],
+			func(r *Result) float64 { return r.PhaseUpdateBitsPerReport }))
 	}
 	return &Figure{
 		ID:     "overhead",

@@ -53,9 +53,9 @@ func TestOptionsNormalization(t *testing.T) {
 	}
 }
 
-func TestRunSeedsParallelAggregation(t *testing.T) {
+func TestRunMatrixParallelAggregation(t *testing.T) {
 	o := Options{Duration: 6 * time.Second, Seeds: 3, Nodes: 25, Parallelism: 3}.normalized()
-	pt, err := runSeeds(o, 42, func(seed int64) Scenario {
+	results, err := runMatrix(o, 1, func(i int, seed int64) Scenario {
 		sc := DefaultScenario(DTSSS, seed)
 		sc.Topology = topology.Config{NumNodes: o.Nodes, AreaSide: 300, Range: 125}
 		sc.Duration = o.Duration
@@ -63,15 +63,42 @@ func TestRunSeedsParallelAggregation(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		sc.Queries = QueryClasses(rng, 1, 1, time.Second)
 		return sc
-	}, func(r *Result) float64 { return r.DutyCycle })
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	pt := pointFrom(42, results[0], func(r *Result) float64 { return r.DutyCycle })
 	if pt.X != 42 || pt.N != 3 {
 		t.Fatalf("point = %+v", pt)
 	}
 	if pt.Mean <= 0 || pt.Mean > 1 {
 		t.Fatalf("mean duty = %v", pt.Mean)
+	}
+}
+
+// TestParallelSweepDeterminism is the worker-count invariance regression:
+// the figure-sweep runner must produce byte-identical output whether the
+// job grid runs on one worker or eight, because aggregation happens in
+// job order after all runs complete and each run is seed-deterministic.
+func TestParallelSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the Fig. 3 sweep twice; skipped with -short")
+	}
+	render := func(workers int) string {
+		o := QuickOptions()
+		o.Parallelism = workers
+		fig, err := Fig3DutyVsRate(o, []float64{1, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		fig.Fprint(&sb)
+		return sb.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("figure output differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
 	}
 }
 

@@ -22,38 +22,30 @@ func Lifetime(o Options, batteryJ float64) (*Figure, error) {
 		batteryJ = 0.5
 	}
 	protos := []Protocol{DTSSS, STSSS, NTSSS, SPAN}
+	results, err := runMatrix(o, len(protos), func(i int, seed int64) Scenario {
+		sc := o.scenario(protos[i], seed)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		sc.Queries = QueryClasses(rng, 5, 1, 10*time.Second)
+		sc.BatteryJ = batteryJ
+		// Failure detection on: survivors must route around the dead.
+		sc.QueryCfg.FailureThreshold = 3
+		return sc
+	})
+	if err != nil {
+		return nil, err
+	}
 	first := Series{Name: "first death (s)"}
 	deaths := Series{Name: "deaths by run end"}
-	for i, p := range protos {
-		p := p
+	for i := range protos {
 		x := float64(i + 1)
-		build := func(seed int64) Scenario {
-			sc := o.scenario(p, seed)
-			rng := rand.New(rand.NewSource(seed * 7919))
-			sc.Queries = QueryClasses(rng, 5, 1, 10*time.Second)
-			sc.BatteryJ = batteryJ
-			// Failure detection on: survivors must route around the dead.
-			sc.QueryCfg.FailureThreshold = 3
-			return sc
-		}
-		pf, err := runSeeds(o, x, build, func(r *Result) float64 {
+		first.Points = append(first.Points, pointFrom(x, results[i], func(r *Result) float64 {
 			if r.FirstDeath == 0 {
 				return o.Duration.Seconds() // survived the whole run
 			}
 			return r.FirstDeath.Seconds()
-		})
-		if err != nil {
-			return nil, err
-		}
-		pd, err := runSeeds(o, x, build, func(r *Result) float64 {
-			return float64(r.BatteryDeaths)
-		})
-		if err != nil {
-			return nil, err
-		}
-		pf.X, pd.X = x, x
-		first.Points = append(first.Points, pf)
-		deaths.Points = append(deaths.Points, pd)
+		}))
+		deaths.Points = append(deaths.Points, pointFrom(x, results[i],
+			func(r *Result) float64 { return float64(r.BatteryDeaths) }))
 	}
 	return &Figure{
 		ID:     "lifetime",

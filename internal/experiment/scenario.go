@@ -412,8 +412,10 @@ func Run(sc Scenario) (*Result, error) {
 			}
 		}
 	}
-	for _, n := range nodes {
-		n.Start()
+	// Start in member (ID) order: map iteration order would vary the seq
+	// tie-break of same-instant events and break run determinism.
+	for _, id := range tree.Members() {
+		nodes[id].Start()
 	}
 
 	// Failure injection.
@@ -475,6 +477,7 @@ func Run(sc Scenario) (*Result, error) {
 	eng.Run(sc.Duration)
 
 	res := collect(sc, eng, tree, ch, nodes, sink, activeAt0, energyAt0)
+	countRun(sc, res.Events)
 	res.FirstDeath = firstDeath
 	res.BatteryDeaths = batteryDeaths
 	if tracer != nil {

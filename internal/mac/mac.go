@@ -114,7 +114,10 @@ const (
 	kindAck
 )
 
-// header is the MAC framing around an upper-layer payload.
+// header is the MAC framing around an upper-layer payload. Headers are
+// pooled per station: a received *header is only valid during the
+// FrameDelivered callback (the MAC reads it synchronously and never
+// retains it).
 type header struct {
 	kind    frameKind
 	seq     uint64
@@ -129,6 +132,7 @@ type txItem struct {
 	seq      uint64
 	attempts int
 	enqueued time.Duration
+	hdr      *header // on-air framing of the current attempt
 }
 
 // MAC is one station's medium-access state machine.
@@ -140,7 +144,11 @@ type MAC struct {
 	cfg   Config
 	upper Upper
 
-	queue   []*txItem
+	queue []*txItem
+	// cur is the head item while it is in flight (transmitting or
+	// awaiting its ACK); the prebound completion timers operate on it so
+	// they need not capture the item per transmission.
+	cur     *txItem
 	cw      int
 	backoff int // remaining slots; preserved across freezes
 
@@ -168,8 +176,25 @@ type MAC struct {
 	lastDecode time.Duration
 
 	nextSeq uint64
-	lastSeq map[phy.NodeID]uint64
-	seen    map[phy.NodeID]bool
+	// lastSeq and seen are dense per-peer duplicate-detection state,
+	// indexed by NodeID (the channel's station table is dense).
+	lastSeq []uint64
+	seen    []bool
+
+	// pendingAcks is the FIFO of acknowledgements owed, popped by the
+	// prebound SIFS timer callback. SIFS is constant, so scheduling order
+	// matches deadline order.
+	pendingAcks []ackKey
+	// ackHdr is the framing of the in-flight acknowledgement (at most one:
+	// a second ACK due mid-transmission is dropped by sendAck).
+	ackHdr *header
+
+	// Prebound timer callbacks and object freelists keep the contention/
+	// ACK hot path allocation-free in the steady state.
+	difsDoneFn, backoffDoneFn, txEndFn, ackTimeoutFn,
+	navExpireFn, fireAckFn, ackSentFn func()
+	itemFree []*txItem
+	hdrFree  []*header
 
 	// ackInfo holds upper-layer payloads to piggyback on pending ACKs,
 	// keyed by (source, sequence) of the data frame being acknowledged.
@@ -199,13 +224,61 @@ func New(eng *sim.Engine, ch *phy.Channel, id phy.NodeID, r *radio.Radio, cfg Co
 		upper:      upper,
 		cw:         cfg.CWMin,
 		lastDecode: -1,
-		lastSeq:    make(map[phy.NodeID]uint64),
-		seen:       make(map[phy.NodeID]bool),
+		lastSeq:    make([]uint64, ch.NumStations()),
+		seen:       make([]bool, ch.NumStations()),
 		ackInfo:    make(map[ackKey]any),
+	}
+	m.difsDoneFn = m.difsDone
+	m.backoffDoneFn = m.backoffDone
+	m.txEndFn = func() {
+		m.txEndEv = nil
+		m.inTx = false
+		m.txDone(m.cur)
+	}
+	m.ackTimeoutFn = func() {
+		m.ackEv = nil
+		m.waitingAck = false
+		m.retry(m.cur)
+	}
+	m.navExpireFn = func() {
+		m.navEv = nil
+		m.tryContend()
+	}
+	m.fireAckFn = func() {
+		pa := m.pendingAcks[0]
+		n := copy(m.pendingAcks, m.pendingAcks[1:])
+		m.pendingAcks = m.pendingAcks[:n]
+		m.sendAck(pa.src, pa.seq)
+	}
+	m.ackSentFn = func() {
+		if m.ackHdr != nil {
+			m.releaseHeader(m.ackHdr)
+			m.ackHdr = nil
+		}
+		m.ackPending--
+		m.afterAck()
 	}
 	ch.Attach(id, r, m)
 	r.Subscribe(m.radioChanged)
 	return m
+}
+
+// newHeader takes a header from the pool (or allocates one) and fills it.
+func (m *MAC) newHeader(kind frameKind, seq uint64, payload any) *header {
+	h := sim.TakeLast(&m.hdrFree)
+	if h == nil {
+		h = &header{}
+	}
+	h.kind, h.seq, h.payload = kind, seq, payload
+	return h
+}
+
+// releaseHeader recycles a header once every receiver has consumed it
+// (channel delivery is synchronous and precedes the sender's completion
+// timers at the same instant).
+func (m *MAC) releaseHeader(h *header) {
+	h.payload = nil
+	m.hdrFree = append(m.hdrFree, h)
 }
 
 // ID returns the node ID this MAC serves.
@@ -231,7 +304,7 @@ func (m *MAC) AttachToAck(src phy.NodeID, info any) bool {
 	if m.ackPending == 0 {
 		return false
 	}
-	if _, ok := m.lastSeq[src]; !ok {
+	if !m.seen[src] {
 		return false
 	}
 	m.ackInfo[ackKey{src: src, seq: m.lastSeq[src]}] = info
@@ -263,14 +336,12 @@ func (m *MAC) Send(dst phy.NodeID, payload any, bytes int, cb SendCallback) {
 	if dst == m.id {
 		panic("mac: send to self")
 	}
-	item := &txItem{
-		dst:      dst,
-		payload:  payload,
-		bytes:    bytes,
-		cb:       cb,
-		seq:      m.nextSeq,
-		enqueued: m.eng.Now(),
+	item := sim.TakeLast(&m.itemFree)
+	if item == nil {
+		item = &txItem{}
 	}
+	*item = txItem{dst: dst, payload: payload, bytes: bytes, cb: cb,
+		seq: m.nextSeq, enqueued: m.eng.Now()}
 	m.nextSeq++
 	m.stats.Enqueued++
 	m.queue = append(m.queue, item)
@@ -295,7 +366,7 @@ func (m *MAC) tryContend() {
 	if m.carrierBusy() {
 		return // resumes via CarrierChanged(false) or NAV expiry
 	}
-	m.difsEv = m.eng.After(m.cfg.DIFS, m.difsDone)
+	m.difsEv = m.eng.After(m.cfg.DIFS, m.difsDoneFn)
 }
 
 func (m *MAC) difsDone() {
@@ -312,7 +383,7 @@ func (m *MAC) difsDone() {
 		return
 	}
 	m.backoffStarted = m.eng.Now()
-	m.backoffEv = m.eng.After(time.Duration(m.backoff)*m.cfg.SlotTime, m.backoffDone)
+	m.backoffEv = m.eng.After(time.Duration(m.backoff)*m.cfg.SlotTime, m.backoffDoneFn)
 }
 
 func (m *MAC) backoffDone() {
@@ -343,10 +414,7 @@ func (m *MAC) setNAV(until time.Duration) {
 	if m.navEv != nil {
 		m.navEv.Cancel()
 	}
-	m.navEv = m.eng.Schedule(until, func() {
-		m.navEv = nil
-		m.tryContend()
-	})
+	m.navEv = m.eng.Schedule(until, m.navExpireFn)
 }
 
 // freeze suspends an in-progress countdown, crediting fully elapsed slots.
@@ -368,28 +436,27 @@ func (m *MAC) freeze() {
 
 func (m *MAC) transmit() {
 	item := m.queue[0]
+	m.cur = item
 	m.inTx = true
-	hdr := header{kind: kindData, seq: item.seq, payload: item.payload}
-	dur, _ := m.ch.StartTx(m.id, item.dst, item.bytes, hdr)
-	m.txEndEv = m.eng.After(dur, func() {
-		m.txEndEv = nil
-		m.inTx = false
-		m.txDone(item)
-	})
+	item.hdr = m.newHeader(kindData, item.seq, item.payload)
+	dur, _ := m.ch.StartTx(m.id, item.dst, item.bytes, item.hdr)
+	m.txEndEv = m.eng.After(dur, m.txEndFn)
 }
 
 func (m *MAC) txDone(item *txItem) {
+	// Every receiver decoded (or lost) the frame during the channel's
+	// end-of-transmission processing, which ran before this timer.
+	if item.hdr != nil {
+		m.releaseHeader(item.hdr)
+		item.hdr = nil
+	}
 	if item.dst == phy.Broadcast {
 		m.finish(item, true)
 		return
 	}
 	m.waitingAck = true
 	timeout := m.cfg.SIFS + m.ch.FrameDuration(m.cfg.AckBytes) + 3*m.cfg.SlotTime
-	m.ackEv = m.eng.After(timeout, func() {
-		m.ackEv = nil
-		m.waitingAck = false
-		m.retry(item)
-	})
+	m.ackEv = m.eng.After(timeout, m.ackTimeoutFn)
 }
 
 func (m *MAC) retry(item *txItem) {
@@ -408,7 +475,12 @@ func (m *MAC) retry(item *txItem) {
 }
 
 func (m *MAC) finish(item *txItem, ok bool) {
-	m.queue = m.queue[1:]
+	m.cur = nil
+	// Shift rather than re-slice so the queue's backing array is reused
+	// forever (m.queue[1:] would leak capacity and reallocate on append).
+	n := copy(m.queue, m.queue[1:])
+	m.queue[n] = nil
+	m.queue = m.queue[:n]
 	m.cw = m.cfg.CWMin
 	m.backoff = 0
 	if ok {
@@ -420,6 +492,11 @@ func (m *MAC) finish(item *txItem, ok bool) {
 	if item.cb != nil {
 		item.cb(ok)
 	}
+	// The item left the queue and the callback ran: recycle it. The
+	// payload and callback references are dropped so the pool does not
+	// pin upper-layer objects.
+	*item = txItem{}
+	m.itemFree = append(m.itemFree, item)
 	if len(m.queue) > 0 {
 		m.tryContend()
 	} else {
@@ -438,7 +515,7 @@ func (m *MAC) notifyIdleIfDrained() {
 // FrameDelivered implements phy.Receiver. The channel reports every frame
 // this station decoded; frames addressed elsewhere only update the NAV.
 func (m *MAC) FrameDelivered(f *phy.Frame) {
-	hdr, ok := f.Payload.(header)
+	hdr, ok := f.Payload.(*header)
 	if !ok {
 		panic(fmt.Sprintf("mac: node %d received non-MAC payload %T", m.id, f.Payload))
 	}
@@ -480,7 +557,7 @@ func (m *MAC) ackReceived(src phy.NodeID, seq uint64, info any) {
 	m.finish(item, true)
 }
 
-func (m *MAC) dataReceived(f *phy.Frame, hdr header) {
+func (m *MAC) dataReceived(f *phy.Frame, hdr *header) {
 	dup := false
 	if f.Dst == m.id {
 		// Unicast: schedule the ACK first so Busy() is accurate for any
@@ -489,7 +566,8 @@ func (m *MAC) dataReceived(f *phy.Frame, hdr header) {
 		m.seen[f.Src] = true
 		m.lastSeq[f.Src] = hdr.seq
 		m.ackPending++
-		m.eng.After(m.cfg.SIFS, func() { m.sendAck(f.Src, hdr.seq) })
+		m.pendingAcks = append(m.pendingAcks, ackKey{src: f.Src, seq: hdr.seq})
+		m.eng.After(m.cfg.SIFS, m.fireAckFn)
 	}
 	if dup {
 		m.stats.Duplicates++
@@ -499,8 +577,13 @@ func (m *MAC) dataReceived(f *phy.Frame, hdr header) {
 }
 
 func (m *MAC) sendAck(dst phy.NodeID, seq uint64) {
-	info := m.ackInfo[ackKey{src: dst, seq: seq}]
-	delete(m.ackInfo, ackKey{src: dst, seq: seq})
+	var info any
+	if len(m.ackInfo) > 0 {
+		if v, ok := m.ackInfo[ackKey{src: dst, seq: seq}]; ok {
+			info = v
+			delete(m.ackInfo, ackKey{src: dst, seq: seq})
+		}
+	}
 	if !m.radio.IsOn() || m.radio.State() == radio.Tx {
 		// Radio gone or busy transmitting at ACK time: drop the ACK; the
 		// sender will retransmit.
@@ -508,13 +591,10 @@ func (m *MAC) sendAck(dst phy.NodeID, seq uint64) {
 		m.afterAck()
 		return
 	}
-	hdr := header{kind: kindAck, seq: seq, payload: info}
-	dur, _ := m.ch.StartTx(m.id, dst, m.cfg.AckBytes, hdr)
+	m.ackHdr = m.newHeader(kindAck, seq, info)
+	dur, _ := m.ch.StartTx(m.id, dst, m.cfg.AckBytes, m.ackHdr)
 	m.stats.AcksSent++
-	m.eng.After(dur, func() {
-		m.ackPending--
-		m.afterAck()
-	})
+	m.eng.After(dur, m.ackSentFn)
 }
 
 func (m *MAC) afterAck() {

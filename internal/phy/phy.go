@@ -34,6 +34,11 @@ type NodeID = topology.NodeID
 const Broadcast NodeID = -1
 
 // Frame is one unit of channel occupancy.
+//
+// Frames are pooled by the channel: a delivered *Frame is valid only for
+// the duration of the FrameDelivered callback and must not be retained
+// (copy it if needed). The MAC consumes frames synchronously, so this
+// only constrains direct channel users.
 type Frame struct {
 	// ID is unique per transmission attempt (retransmissions get new IDs).
 	ID uint64
@@ -81,9 +86,13 @@ type Stats struct {
 	BytesSent uint64
 }
 
+// activeTx is one in-flight transmission. The struct embeds its Frame and
+// a prebound completion callback so the whole per-transmission footprint
+// is recycled through the channel's freelist: the steady state of StartTx
+// is allocation-free.
 type activeTx struct {
-	frame *Frame
-	end   time.Duration
+	frame Frame
+	endFn func() // prebound c.endTx(tx), created once per struct
 }
 
 type station struct {
@@ -108,6 +117,9 @@ type Channel struct {
 	nextID    uint64
 	stats     Stats
 	neighbors func(NodeID) []NodeID
+	// freeTx recycles activeTx structs (frame + completion callback);
+	// bounded by the peak number of concurrent transmissions.
+	freeTx []*activeTx
 }
 
 // Config parameterizes the channel.
@@ -169,6 +181,10 @@ func (c *Channel) Attach(id NodeID, r *radio.Radio, rx Receiver) {
 // Stats returns a copy of the channel counters.
 func (c *Channel) Stats() Stats { return c.stats }
 
+// NumStations returns the size of the channel's dense station ID space.
+// MACs use it to size per-peer bookkeeping slices.
+func (c *Channel) NumStations() int { return len(c.stations) }
+
 // FrameDuration returns the airtime of a frame with the given payload size.
 func (c *Channel) FrameDuration(bytes int) time.Duration {
 	bits := int64(bytes) * 8
@@ -207,10 +223,15 @@ func (c *Channel) StartTx(src NodeID, dst NodeID, bytes int, payload any) (time.
 	if !st.enabled {
 		panic(fmt.Sprintf("phy: disabled node %d transmitting", src))
 	}
-	f := &Frame{ID: c.nextID, Src: src, Dst: dst, Bytes: bytes, Payload: payload}
+	tx := sim.TakeLast(&c.freeTx)
+	if tx == nil {
+		tx = &activeTx{}
+		txp := tx
+		tx.endFn = func() { c.endTx(txp) }
+	}
+	tx.frame = Frame{ID: c.nextID, Src: src, Dst: dst, Bytes: bytes, Payload: payload}
 	c.nextID++
 	dur := c.FrameDuration(bytes)
-	tx := &activeTx{frame: f, end: c.eng.Now() + dur}
 
 	c.stats.Transmissions++
 	c.stats.BytesSent += uint64(bytes)
@@ -240,11 +261,12 @@ func (c *Channel) StartTx(src NodeID, dst NodeID, bytes int, payload any) (time.
 		}
 	}
 
-	c.eng.After(dur, func() { c.endTx(src, tx) })
-	return dur, f
+	c.eng.After(dur, tx.endFn)
+	return dur, &tx.frame
 }
 
-func (c *Channel) endTx(src NodeID, tx *activeTx) {
+func (c *Channel) endTx(tx *activeTx) {
+	src := tx.frame.Src
 	st := c.stations[src]
 	if st.radio.State() == radio.Tx {
 		st.radio.EndTx()
@@ -255,7 +277,7 @@ func (c *Channel) endTx(src NodeID, tx *activeTx) {
 			continue
 		}
 		rst.carriers--
-		if rst.receiving != nil && rst.receiving.frame == tx.frame {
+		if rst.receiving == tx {
 			corrupted := rst.corrupted
 			rst.receiving = nil
 			rst.corrupted = false
@@ -263,7 +285,7 @@ func (c *Channel) endTx(src NodeID, tx *activeTx) {
 			// delivery, so a sleep scheduler re-evaluating on the Rx→Idle
 			// transition sees the pending work and keeps the radio on.
 			if !corrupted {
-				c.deliver(rst, tx.frame)
+				c.deliver(rst, &tx.frame)
 			}
 			rst.radio.EndRx()
 		}
@@ -271,6 +293,10 @@ func (c *Channel) endTx(src NodeID, tx *activeTx) {
 			rst.rx.CarrierChanged(false)
 		}
 	}
+	// Every station has detached from this transmission: recycle it. The
+	// payload reference is dropped so the pool does not pin MAC headers.
+	tx.frame.Payload = nil
+	c.freeTx = append(c.freeTx, tx)
 }
 
 func (c *Channel) deliver(rst *station, f *Frame) {

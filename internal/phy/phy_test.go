@@ -11,11 +11,11 @@ import (
 )
 
 type mockRx struct {
-	delivered []*Frame
+	delivered []Frame // copies: delivered *Frames are only valid in the callback
 	carrier   []bool
 }
 
-func (m *mockRx) FrameDelivered(f *Frame)  { m.delivered = append(m.delivered, f) }
+func (m *mockRx) FrameDelivered(f *Frame)  { m.delivered = append(m.delivered, *f) }
 func (m *mockRx) CarrierChanged(busy bool) { m.carrier = append(m.carrier, busy) }
 
 // testNet builds a channel over a chain of n nodes spaced 100m apart with

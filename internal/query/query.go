@@ -13,6 +13,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/essat/essat/internal/routing"
@@ -183,14 +184,32 @@ type Stats struct {
 	LateReports uint64
 }
 
+// interval is one collection round. Intervals are pooled by the Agent:
+// expected/got are parallel slices (children owed, and who reported) whose
+// capacity survives recycling, and timeoutFn is the prebound deadline
+// callback, so steady-state interval turnover is allocation-free.
 type interval struct {
 	k        int
 	value    float64
 	coverage int
-	expected map[NodeID]bool // children owed for this interval
-	got      map[NodeID]bool
+	expected []NodeID // children owed for this interval
+	got      []bool   // parallel to expected
+	extraGot []NodeID // reporters outside expected (mid-recovery edges)
 	closed   bool
 	timeout  *sim.Event
+
+	rt        *runtime // owning query runtime, for the prebound callback
+	timeoutFn func()
+}
+
+// expectedIdx returns c's position in expected, or -1.
+func (iv *interval) expectedIdx(c NodeID) int {
+	for i, e := range iv.expected {
+		if e == c {
+			return i
+		}
+	}
+	return -1
 }
 
 type runtime struct {
@@ -198,6 +217,20 @@ type runtime struct {
 	intervals   map[int]*interval
 	consecMiss  map[NodeID]int
 	lastClosedK int
+
+	// tickFn starts interval tickK: the prebound self-rescheduling chain
+	// (exactly one tick is outstanding per query).
+	tickFn func()
+	tickK  int
+}
+
+// txReport is a pooled in-flight report: the Report payload plus the
+// prebound submit timer and MAC-completion callbacks that reference it.
+type txReport struct {
+	rep      Report
+	rt       *runtime
+	submitFn func()
+	cbFn     func(ok bool)
 }
 
 // Agent runs the query service at one node.
@@ -214,10 +247,65 @@ type Agent struct {
 	queries map[ID]*runtime
 	stats   Stats
 
+	// Freelists and scratch space for the per-interval hot path.
+	ivFree      []*interval
+	trFree      []*txReport
+	missScratch []NodeID
+
 	consecSendFail int
 	onChildFailed  func(child NodeID)
 	onParentFailed func()
 	stopped        bool
+}
+
+// newInterval takes an interval from the pool (or allocates one, creating
+// its prebound timeout callback) and resets it for (rt, k).
+func (a *Agent) newInterval(rt *runtime, k int) *interval {
+	iv := sim.TakeLast(&a.ivFree)
+	if iv == nil {
+		iv = &interval{}
+		ivp := iv
+		iv.timeoutFn = func() {
+			ivp.timeout = nil
+			a.stats.Timeouts++
+			a.closeInterval(ivp.rt, ivp)
+		}
+	}
+	iv.k = k
+	iv.value = 0
+	iv.coverage = 0
+	iv.expected = iv.expected[:0]
+	iv.got = iv.got[:0]
+	iv.extraGot = iv.extraGot[:0]
+	iv.closed = false
+	iv.timeout = nil
+	iv.rt = rt
+	return iv
+}
+
+// releaseInterval recycles a closed interval with no pending timeout.
+func (a *Agent) releaseInterval(iv *interval) {
+	iv.rt = nil
+	a.ivFree = append(a.ivFree, iv)
+}
+
+// newTxReport takes a report from the pool (or allocates one, creating
+// its prebound callbacks) and binds it to rt.
+func (a *Agent) newTxReport(rt *runtime) *txReport {
+	tr := sim.TakeLast(&a.trFree)
+	if tr == nil {
+		tr = &txReport{}
+		trp := tr
+		tr.submitFn = func() { a.submit(trp.rt, trp) }
+		tr.cbFn = func(ok bool) { a.sendDone(trp, ok) }
+	}
+	tr.rt = rt
+	return tr
+}
+
+func (a *Agent) releaseTxReport(tr *txReport) {
+	tr.rt = nil
+	a.trFree = append(a.trFree, tr)
 }
 
 // NewAgent wires a query agent. sink may be nil (non-root nodes); send
@@ -279,9 +367,11 @@ func (a *Agent) Register(spec Spec) error {
 		consecMiss:  make(map[NodeID]int),
 		lastClosedK: -1,
 	}
+	rt.tickFn = func() { a.startInterval(rt, rt.tickK) }
 	a.queries[spec.ID] = rt
 	a.shaper.QueryAdded(spec, a.tree.Children(a.id))
-	a.eng.Schedule(spec.Phase, func() { a.startInterval(rt, 0) })
+	rt.tickK = 0
+	a.eng.Schedule(spec.Phase, rt.tickFn)
 	return nil
 }
 
@@ -293,19 +383,17 @@ func (a *Agent) startInterval(rt *runtime, k int) {
 		return // deregistered
 	}
 	// Schedule the next interval first so the chain never breaks.
-	a.eng.Schedule(rt.spec.IntervalStart(k+1), func() { a.startInterval(rt, k+1) })
+	rt.tickK = k + 1
+	a.eng.Schedule(rt.spec.IntervalStart(k+1), rt.tickFn)
 
-	iv := &interval{
-		k:        k,
-		value:    a.cfg.Sampler(rt.spec.ID, k),
-		coverage: 1,
-		expected: make(map[NodeID]bool),
-		got:      make(map[NodeID]bool),
-	}
+	iv := a.newInterval(rt, k)
+	iv.value = a.cfg.Sampler(rt.spec.ID, k)
+	iv.coverage = 1
 	a.stats.Samples++
 	rt.intervals[k] = iv
 	for _, c := range a.tree.Children(a.id) {
-		iv.expected[c] = true
+		iv.expected = append(iv.expected, c)
+		iv.got = append(iv.got, false)
 	}
 	if len(iv.expected) == 0 {
 		a.closeInterval(rt, iv)
@@ -315,11 +403,7 @@ func (a *Agent) startInterval(rt *runtime, k int) {
 	if now := a.eng.Now(); deadline < now {
 		deadline = now
 	}
-	iv.timeout = a.eng.Schedule(deadline, func() {
-		iv.timeout = nil
-		a.stats.Timeouts++
-		a.closeInterval(rt, iv)
-	})
+	iv.timeout = a.eng.Schedule(deadline, iv.timeoutFn)
 }
 
 // closeInterval finalizes interval k: informs the shaper of missing
@@ -337,12 +421,23 @@ func (a *Agent) closeInterval(rt *runtime, iv *interval) {
 		rt.lastClosedK = iv.k
 	}
 	// Prune far-past intervals; anything arriving for them is treated as
-	// late and forwarded as a pass-through.
-	delete(rt.intervals, iv.k-8)
+	// late and forwarded as a pass-through. A pruned interval is recycled
+	// once it is closed with no timeout pending (the normal case: its
+	// deadline is bounded by roughly one period).
+	if old, ok := rt.intervals[iv.k-8]; ok {
+		delete(rt.intervals, iv.k-8)
+		if old.closed && old.timeout == nil {
+			a.releaseInterval(old)
+		}
+	}
 
-	var missing []NodeID
-	for c := range iv.expected {
-		if !iv.got[c] {
+	// Detach the scratch buffer while in use: onChildFailed can re-enter
+	// closeInterval (child removal closes other intervals), and the nested
+	// call must not clobber this one's missing list.
+	missing := a.missScratch[:0]
+	a.missScratch = nil
+	for i, c := range iv.expected {
+		if !iv.got[i] {
 			missing = append(missing, c)
 		}
 	}
@@ -354,6 +449,7 @@ func (a *Agent) closeInterval(rt *runtime, iv *interval) {
 			a.onChildFailed(c)
 		}
 	}
+	a.missScratch = missing[:0]
 
 	if a.id == a.tree.Root() {
 		latency := a.eng.Now() - rt.spec.IntervalStart(iv.k)
@@ -363,17 +459,20 @@ func (a *Agent) closeInterval(rt *runtime, iv *interval) {
 		return
 	}
 
-	rep := &Report{Query: rt.spec.ID, Interval: iv.k, Coverage: iv.coverage, Value: iv.value}
+	tr := a.newTxReport(rt)
+	tr.rep = Report{Query: rt.spec.ID, Interval: iv.k, Coverage: iv.coverage, Value: iv.value}
 	sendAt, phase := a.shaper.ReportReady(rt.spec.ID, iv.k, a.eng.Now())
-	rep.Phase = phase
+	tr.rep.Phase = phase
 	if now := a.eng.Now(); sendAt < now {
 		sendAt = now
 	}
-	a.eng.Schedule(sendAt, func() { a.submit(rt, rep) })
+	a.eng.Schedule(sendAt, tr.submitFn)
 }
 
-func (a *Agent) submit(rt *runtime, rep *Report) {
+func (a *Agent) submit(rt *runtime, tr *txReport) {
+	rep := &tr.rep
 	if a.stopped {
+		a.releaseTxReport(tr)
 		return
 	}
 	parent := a.tree.Parent(a.id)
@@ -391,6 +490,7 @@ func (a *Agent) submit(rt *runtime, rep *Report) {
 			a.consecSendFail = 0
 			a.onParentFailed()
 		}
+		a.releaseTxReport(tr)
 		return
 	}
 	bytes := a.cfg.ReportBytes
@@ -403,27 +503,36 @@ func (a *Agent) submit(rt *runtime, rep *Report) {
 	} else {
 		a.stats.ReportsSent++
 	}
-	a.send(parent, rep, bytes, func(ok bool) {
-		if a.stopped {
-			return
-		}
-		if !ok {
-			a.stats.SendFailures++
-			a.consecSendFail++
-			if !rep.PassThrough {
-				a.shaper.ReportFailed(rep.Query, rep.Interval)
-			}
-			if a.cfg.FailureThreshold > 0 && a.consecSendFail >= a.cfg.FailureThreshold && a.onParentFailed != nil {
-				a.consecSendFail = 0
-				a.onParentFailed()
-			}
-			return
-		}
-		a.consecSendFail = 0
+	a.send(parent, rep, bytes, tr.cbFn)
+}
+
+// sendDone is the MAC-completion path for a submitted report. The MAC is
+// finished with the payload when it runs, so the txReport is recycled on
+// every exit.
+func (a *Agent) sendDone(tr *txReport, ok bool) {
+	rep := &tr.rep
+	if a.stopped {
+		a.releaseTxReport(tr)
+		return
+	}
+	if !ok {
+		a.stats.SendFailures++
+		a.consecSendFail++
 		if !rep.PassThrough {
-			a.shaper.ReportSent(rep.Query, rep.Interval)
+			a.shaper.ReportFailed(rep.Query, rep.Interval)
 		}
-	})
+		if a.cfg.FailureThreshold > 0 && a.consecSendFail >= a.cfg.FailureThreshold && a.onParentFailed != nil {
+			a.consecSendFail = 0
+			a.onParentFailed()
+		}
+		a.releaseTxReport(tr)
+		return
+	}
+	a.consecSendFail = 0
+	if !rep.PassThrough {
+		a.shaper.ReportSent(rep.Query, rep.Interval)
+	}
+	a.releaseTxReport(tr)
 }
 
 // HandleReport processes a report received from a child (via the node's
@@ -458,15 +567,26 @@ func (a *Agent) HandleReport(from NodeID, rep *Report) {
 		a.handleLate(rt, rep)
 		return
 	}
-	if iv.got[from] {
-		return // duplicate scheduled report (should be filtered by MAC)
+	if i := iv.expectedIdx(from); i >= 0 {
+		if iv.got[i] {
+			return // duplicate scheduled report (should be filtered by MAC)
+		}
+		iv.got[i] = true
+	} else {
+		// Not among the children owed (added mid-interval): aggregate but
+		// do not let it close the interval.
+		for _, c := range iv.extraGot {
+			if c == from {
+				return // duplicate
+			}
+		}
+		iv.extraGot = append(iv.extraGot, from)
 	}
-	iv.got[from] = true
 	iv.value = a.agg(iv.value, rep.Value)
 	iv.coverage += rep.Coverage
 
-	for c := range iv.expected {
-		if !iv.got[c] {
+	for i := range iv.expected {
+		if !iv.got[i] {
 			return // still waiting
 		}
 	}
@@ -486,7 +606,8 @@ func (a *Agent) handleLate(rt *runtime, rep *Report) {
 	if a.id == a.tree.Root() {
 		return // already recorded by the sink
 	}
-	fwd := &Report{
+	tr := a.newTxReport(rt)
+	tr.rep = Report{
 		Query:       rep.Query,
 		Interval:    rep.Interval,
 		Coverage:    rep.Coverage,
@@ -494,7 +615,7 @@ func (a *Agent) handleLate(rt *runtime, rep *Report) {
 		Phase:       NoPhase,
 		PassThrough: true,
 	}
-	a.submit(rt, fwd)
+	a.submit(rt, tr)
 }
 
 // HandleControl routes shaper control traffic.
@@ -502,10 +623,23 @@ func (a *Agent) HandleControl(from NodeID, msg any) {
 	a.shaper.ControlReceived(from, msg)
 }
 
+// sortedQueryIDs returns the registered query IDs in ascending order.
+// Maintenance hooks iterate queries in this order because they mutate
+// shaper and sleep state (and may schedule events): map order would vary
+// the seq tie-break of same-instant events and break run determinism.
+func (a *Agent) sortedQueryIDs() []ID {
+	ids := make([]ID, 0, len(a.queries))
+	for id := range a.queries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // ChildAdded registers a new dependency on child (it was re-parented
 // under this node). It takes effect from the next interval of each query.
 func (a *Agent) ChildAdded(child NodeID) {
-	for qid := range a.queries {
+	for _, qid := range a.sortedQueryIDs() {
 		a.shaper.ChildAdded(qid, child)
 	}
 }
@@ -513,17 +647,31 @@ func (a *Agent) ChildAdded(child NodeID) {
 // ChildRemoved drops the dependency on child: open intervals stop waiting
 // for it and the shaper forgets its expected reception times.
 func (a *Agent) ChildRemoved(child NodeID) {
-	for qid, rt := range a.queries {
+	for _, qid := range a.sortedQueryIDs() {
+		rt := a.queries[qid]
 		a.shaper.ChildRemoved(qid, child)
 		delete(rt.consecMiss, child)
-		for _, iv := range rt.intervals {
-			if iv.closed || !iv.expected[child] {
+		// Intervals in ascending k: closing may submit reports, and the
+		// submission order must not depend on map iteration.
+		ks := make([]int, 0, len(rt.intervals))
+		for k := range rt.intervals {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
+			iv := rt.intervals[k]
+			if iv.closed {
 				continue
 			}
-			delete(iv.expected, child)
+			i := iv.expectedIdx(child)
+			if i < 0 {
+				continue
+			}
+			iv.expected = append(iv.expected[:i], iv.expected[i+1:]...)
+			iv.got = append(iv.got[:i], iv.got[i+1:]...)
 			done := true
-			for c := range iv.expected {
-				if !iv.got[c] {
+			for j := range iv.expected {
+				if !iv.got[j] {
 					done = false
 					break
 				}
@@ -537,7 +685,7 @@ func (a *Agent) ChildRemoved(child NodeID) {
 
 // ParentChanged informs the shaper the node was re-parented.
 func (a *Agent) ParentChanged() {
-	for qid := range a.queries {
+	for _, qid := range a.sortedQueryIDs() {
 		a.shaper.ParentChanged(qid)
 	}
 	a.consecSendFail = 0
@@ -554,8 +702,10 @@ func (a *Agent) Deregister(q ID) {
 	for _, iv := range rt.intervals {
 		if iv.timeout != nil {
 			iv.timeout.Cancel()
+			iv.timeout = nil
 		}
 		iv.closed = true
+		a.releaseInterval(iv)
 	}
 	delete(a.queries, q)
 	a.shaper.QueryRemoved(q)

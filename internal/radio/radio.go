@@ -99,6 +99,10 @@ type Radio struct {
 	sleepStart     time.Duration
 	sleepIntervals []time.Duration
 
+	// Prebound transition-complete callbacks; radios transition thousands
+	// of times per run, so per-call closures would dominate allocations.
+	turnOnDoneFn, turnOffDoneFn func()
+
 	dead bool
 }
 
@@ -107,7 +111,17 @@ func New(eng *sim.Engine, cfg Config) *Radio {
 	if cfg.TurnOnDelay < 0 || cfg.TurnOffDelay < 0 {
 		panic("radio: negative transition delay")
 	}
-	return &Radio{eng: eng, cfg: cfg, state: Idle, lastChange: eng.Now()}
+	r := &Radio{eng: eng, cfg: cfg, state: Idle, lastChange: eng.Now()}
+	r.turnOnDoneFn = func() {
+		r.transition = nil
+		r.setState(Idle)
+	}
+	r.turnOffDoneFn = func() {
+		r.transition = nil
+		r.setState(Off)
+		r.afterOff()
+	}
+	return r
 }
 
 // Config returns the radio's configuration.
@@ -169,6 +183,7 @@ func (r *Radio) Shutdown() {
 	r.pendingOff = false
 	if r.transition != nil {
 		r.transition.Cancel()
+		r.transition = nil
 	}
 	if r.state != Off {
 		r.setState(Off)
@@ -201,7 +216,7 @@ func (r *Radio) TurnOn() {
 		return
 	}
 	r.setState(TurningOn)
-	r.transition = r.eng.After(r.cfg.TurnOnDelay, func() { r.setState(Idle) })
+	r.transition = r.eng.After(r.cfg.TurnOnDelay, r.turnOnDoneFn)
 }
 
 // TurnOff initiates the Idle→Off transition. Called during Rx it aborts
@@ -218,6 +233,7 @@ func (r *Radio) TurnOff() {
 		// radio never reached an active state.
 		if r.transition != nil {
 			r.transition.Cancel()
+			r.transition = nil
 		}
 		r.setState(Off)
 		r.afterOff()
@@ -234,10 +250,7 @@ func (r *Radio) TurnOff() {
 		return
 	}
 	r.setState(TurningOff)
-	r.transition = r.eng.After(r.cfg.TurnOffDelay, func() {
-		r.setState(Off)
-		r.afterOff()
-	})
+	r.transition = r.eng.After(r.cfg.TurnOffDelay, r.turnOffDoneFn)
 }
 
 func (r *Radio) afterOff() {

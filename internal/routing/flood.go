@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/essat/essat/internal/mac"
@@ -51,6 +52,11 @@ func FromParents(topo *topology.Topology, root NodeID, parents map[NodeID]NodeID
 	}
 	for child := range parents {
 		t.children[t.parent[child]] = append(t.children[t.parent[child]], child)
+	}
+	// Children in ID order: the map iteration above would otherwise vary
+	// per-child processing order (and thus event order) across runs.
+	for i := range t.children {
+		sort.Slice(t.children[i], func(a, b int) bool { return t.children[i][a] < t.children[i][b] })
 	}
 	// Levels via the parent chains; detect orphan chains and cycles.
 	var depth func(id NodeID, hops int) (int, error)

@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -17,11 +16,17 @@ import (
 // Event is a handle to a scheduled callback. It may be canceled before it
 // fires. The zero value is not useful; Events are created by Engine.Schedule
 // and Engine.After.
+//
+// Once an event has fired or a canceled event has been discarded, its
+// struct is recycled by the engine and handed out again by a later
+// Schedule. Holders must therefore drop their handle when the callback
+// runs (conventionally by clearing the field that stores it as the first
+// statement of the callback) and must not call Cancel or inspect a handle
+// after its event fired: it may alias a newer, unrelated event.
 type Event struct {
 	at       time.Duration
 	seq      uint64
 	fn       func()
-	index    int
 	canceled bool
 }
 
@@ -35,37 +40,61 @@ func (ev *Event) Canceled() bool { return ev.canceled }
 // fired or was already canceled is a no-op.
 func (ev *Event) Cancel() { ev.canceled = true }
 
-// eventQueue is a binary min-heap ordered by (at, seq).
+// eventQueue is a binary min-heap ordered by (at, seq), implemented
+// directly (no container/heap) to avoid interface dispatch on the
+// simulator's hottest operations. Cancellation is lazy, so events are
+// only ever pushed and popped from the root — no index bookkeeping.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+// less orders events by (at, seq): earlier time first, FIFO at ties.
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
+// push appends ev and restores the heap by sifting it up.
+func (q *eventQueue) push(ev *Event) {
 	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
+// pop removes and returns the minimum event. The queue must be non-empty.
+func (q *eventQueue) pop() *Event {
+	h := *q
+	n := len(h) - 1
+	ev := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	// Sift the displaced element down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && h.less(right, left) {
+			min = right
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 	return ev
 }
 
@@ -77,6 +106,10 @@ type Engine struct {
 	seq       uint64
 	rng       *rand.Rand
 	processed uint64
+	// free holds fired and discarded Event structs for reuse, keeping the
+	// steady state of Schedule/After allocation-free. Its length is bounded
+	// by the peak number of concurrently pending events.
+	free []*Event
 }
 
 // New returns an Engine whose random stream is seeded with seed.
@@ -107,10 +140,22 @@ func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := TakeLast(&e.free)
+	if ev != nil {
+		ev.at, ev.seq, ev.fn, ev.canceled = at, e.seq, fn, false
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn}
+	}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
+}
+
+// release returns a popped event to the freelist. The callback reference
+// is dropped so captured state is not kept alive by the pool.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // After registers fn to run d from now. Negative d panics.
@@ -123,13 +168,16 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 // discarded without executing and without counting as a step.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.queue.pop()
 		if ev.canceled {
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
 		e.processed++
-		ev.fn()
+		fn := ev.fn
+		e.release(ev)
+		fn()
 		return true
 	}
 	return false
@@ -145,16 +193,19 @@ func (e *Engine) Run(until time.Duration) uint64 {
 		// Peek without popping so a too-late event stays queued.
 		next := e.queue[0]
 		if next.canceled {
-			heap.Pop(&e.queue)
+			e.queue.pop()
+			e.release(next)
 			continue
 		}
 		if next.at > until {
 			break
 		}
-		heap.Pop(&e.queue)
+		e.queue.pop()
 		e.now = next.at
 		e.processed++
-		next.fn()
+		fn := next.fn
+		e.release(next)
+		fn()
 	}
 	if e.now < until {
 		e.now = until

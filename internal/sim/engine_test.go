@@ -256,6 +256,96 @@ func TestEventOrderInvariant(t *testing.T) {
 	}
 }
 
+// TestEventRecycledAfterFire checks that a fired event's struct is reused
+// by the next Schedule instead of being garbage.
+func TestEventRecycledAfterFire(t *testing.T) {
+	e := New(1)
+	ev1 := e.Schedule(time.Millisecond, func() {})
+	e.RunAll()
+	ev2 := e.Schedule(time.Second, func() {})
+	if ev1 != ev2 {
+		t.Fatal("fired event was not recycled by the next Schedule")
+	}
+	if ev2.Canceled() {
+		t.Fatal("recycled event inherited a stale canceled flag")
+	}
+	if ev2.At() != time.Second {
+		t.Fatalf("recycled event At() = %v, want 1s", ev2.At())
+	}
+}
+
+// TestEventRecycledAfterCancel checks that canceled events are recycled
+// once the queue discards them, with the canceled flag reset.
+func TestEventRecycledAfterCancel(t *testing.T) {
+	e := New(1)
+	ev1 := e.Schedule(time.Millisecond, func() { t.Error("canceled event fired") })
+	ev1.Cancel()
+	e.RunAll() // discards the canceled event
+	fired := false
+	ev2 := e.Schedule(time.Second, func() { fired = true })
+	if ev1 != ev2 {
+		t.Fatal("canceled event was not recycled by the next Schedule")
+	}
+	if ev2.Canceled() {
+		t.Fatal("recycled event inherited a stale canceled flag")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// TestFIFOOrderingAcrossReuse checks the same-instant FIFO tie-break is
+// preserved when the queue is built from recycled Event structs.
+func TestFIFOOrderingAcrossReuse(t *testing.T) {
+	e := New(1)
+	// Populate and drain the freelist.
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.RunAll()
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { fired = append(fired, i) })
+	}
+	// Interleave a cancellation to exercise discard + reuse in one pass.
+	ev := e.Schedule(time.Second, func() { t.Error("canceled event fired") })
+	ev.Cancel()
+	e.RunAll()
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10", len(fired))
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("fired[%d] = %d, want %d (FIFO tie-break violated across reuse)", i, v, i)
+		}
+	}
+}
+
+// TestRescheduleInsideCallbackReusesEvent checks the hot-path pattern: a
+// self-rescheduling timer runs allocation-free because the struct released
+// before the callback is immediately reused by the After inside it.
+func TestRescheduleInsideCallbackReusesEvent(t *testing.T) {
+	e := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 1000 {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.RunAll()
+	if count != 1000 {
+		t.Fatalf("count = %d, want 1000", count)
+	}
+	if got := len(e.free); got != 1 {
+		t.Fatalf("freelist holds %d events after drain, want 1 (one struct recycled throughout)", got)
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -264,6 +354,59 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 			e.Schedule(time.Duration(j)*time.Microsecond, func() {})
 		}
 		e.RunAll()
+	}
+}
+
+// TestSteadyStateZeroAlloc is the enforcing guard for the freelist's
+// zero-alloc property: after warm-up, scheduling and firing events must
+// not allocate. (BenchmarkEngineThroughput reports the same property but
+// a benchmark cannot fail CI on a regression.)
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	e := New(1)
+	fn := func() {}
+	// Warm up the freelist and the queue's backing array.
+	for i := 0; i < 64; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(time.Microsecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkEngineThroughput measures steady-state event throughput with a
+// population of concurrent self-rescheduling timers, the shape of a busy
+// simulation. With the event freelist the steady state is allocation-free:
+// b.ReportAllocs guards the zero-alloc property.
+func BenchmarkEngineThroughput(b *testing.B) {
+	const timers = 64
+	e := New(1)
+	remaining := b.N
+	ticks := make([]func(), timers)
+	for i := 0; i < timers; i++ {
+		i := i
+		ticks[i] = func() {
+			remaining--
+			if remaining > 0 {
+				// Deterministic pseudo-jitter keeps the heap shuffled.
+				d := time.Duration(1+(remaining*7919)%64) * time.Microsecond
+				e.After(d, ticks[i])
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < timers && i < b.N; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, ticks[i])
+	}
+	e.RunAll()
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(e.Processed())/b.Elapsed().Seconds(), "events/sec")
 	}
 }
 

@@ -1,0 +1,20 @@
+package sim
+
+// TakeLast pops and returns the last element of *s, zeroing the vacated
+// slot so the backing array does not pin it, or returns the zero value
+// when the slice is empty. It is the shared take-from-freelist idiom of
+// the simulator's object pools (events, frames, MAC headers, query
+// intervals and reports); callers compare against nil and allocate on a
+// miss.
+func TakeLast[T any](s *[]T) T {
+	old := *s
+	n := len(old)
+	var zero T
+	if n == 0 {
+		return zero
+	}
+	v := old[n-1]
+	old[n-1] = zero
+	*s = old[:n-1]
+	return v
+}
