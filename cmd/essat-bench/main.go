@@ -66,6 +66,7 @@ func main() {
 		duration = flag.Duration("duration", 0, "override run duration")
 		seeds    = flag.Int("seeds", 0, "override seeds per point")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS)")
+		topo     = flag.String("topology", "", "topology generator for every run (empty = the paper's uniform placement; see essat-sim -list)")
 		outJSON  = flag.String("benchjson", "", "write a throughput report (wall time, events/sec, sim-seconds/sec) to this file")
 	)
 	ablations := flag.Bool("ablations", false, "also run the DESIGN.md ablation and robustness studies")
@@ -83,6 +84,7 @@ func main() {
 		o.Seeds = *seeds
 	}
 	o.Parallelism = *parallel
+	o.Topology = *topo
 
 	if len(figs) == 0 {
 		figs = figList{"2", "3", "4", "5", "6", "7", "8", "9", "overhead"}
@@ -108,7 +110,9 @@ func main() {
 		var err error
 		essat.ResetRunCounters()
 		figStart := time.Now()
-		switch f {
+		// Accept both the short form ("3") and the catalog ID ("fig3")
+		// printed by essat-sim -list.
+		switch strings.TrimPrefix(f, "fig") {
 		case "2":
 			fig, err = essat.Fig2Deadline(o, nil)
 		case "3":

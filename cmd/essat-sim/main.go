@@ -1,18 +1,23 @@
-// Command essat-sim runs one ESSAT simulation scenario from flags and
-// prints its metrics: duty cycle, per-rank duty distribution, query
-// latency per class, coverage, and protocol overheads.
+// Command essat-sim runs one ESSAT simulation scenario and prints its
+// metrics: duty cycle, per-rank duty distribution, query latency per
+// class, coverage, and protocol overheads. The scenario comes either
+// from flags or, declaratively, from a JSON spec file (-scenario);
+// -list shows every registered protocol, topology generator, and
+// figure driver.
 //
 // Examples:
 //
 //	essat-sim -protocol DTS-SS -rate 5 -duration 200s
 //	essat-sim -protocol STS-SS -deadline 120ms -seeds 5
 //	essat-sim -protocol DTS-SS -loss 0.1 -failures 2
+//	essat-sim -topology corridor -protocol DTS-SS
+//	essat-sim -scenario testdata/example.json
+//	essat-sim -list
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"sort"
 	"time"
@@ -23,7 +28,10 @@ import (
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "DTS-SS", "protocol: DTS-SS, STS-SS, NTS-SS, SPAN, PSM, SYNC")
+		scenario = flag.String("scenario", "", "run a declarative JSON scenario spec from this file (overrides the shape flags)")
+		list     = flag.Bool("list", false, "list registered protocols, topology generators, and figures, then exit")
+		protocol = flag.String("protocol", "DTS-SS", "protocol: DTS-SS, STS-SS, NTS-SS, SPAN, PSM, SYNC, TMAC (see -list)")
+		topo     = flag.String("topology", "", "topology generator: uniform, grid, clusters, corridor (empty = uniform)")
 		rate     = flag.Float64("rate", 1.0, "base rate of query class Q1 in Hz (Q1:Q2:Q3 = 6:3:2)")
 		perClass = flag.Int("queries", 1, "queries per class")
 		nodes    = flag.Int("nodes", 80, "number of nodes")
@@ -43,56 +51,125 @@ func main() {
 	)
 	flag.Parse()
 
+	if *list {
+		printRegistries()
+		return
+	}
+
+	if *seeds <= 0 {
+		fatal(fmt.Errorf("seeds must be positive, got %d", *seeds))
+	}
+	if *scenario == "" {
+		// The spec layer treats non-positive overrides as "keep the
+		// default"; explicit flag values must not be swallowed that way.
+		if *duration <= 0 {
+			fatal(fmt.Errorf("non-positive duration %v", *duration))
+		}
+		if *nodes <= 0 {
+			fatal(fmt.Errorf("nodes must be positive, got %d", *nodes))
+		}
+		if *area <= 0 {
+			fatal(fmt.Errorf("area must be positive, got %g", *area))
+		}
+	}
+	spec := specFromFlags(*protocol, *topo, *rate, *perClass, *nodes, *area,
+		*duration, *deadline, *tbe, *loss, *failures, *bfs, *traceN, *dissem, *peers, *battery)
+	if *scenario != "" {
+		loaded, err := essat.LoadSpec(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		spec = loaded
+	}
+
 	var duty, lat stats.Welford
 	var last *essat.Result
 	for seed := int64(1); seed <= int64(*seeds); seed++ {
-		sc := essat.DefaultScenario(essat.Protocol(*protocol), seed)
-		sc.Topology.NumNodes = *nodes
-		sc.Topology.AreaSide = *area
-		sc.Duration = *duration
-		if sc.MeasureFrom >= sc.Duration {
-			sc.MeasureFrom = sc.Duration / 5
+		run := *spec
+		if *seeds > 1 || run.Seed == 0 {
+			run.Seed = seed
 		}
-		sc.STSDeadline = *deadline
-		sc.SSBreakEven = *tbe
-		sc.LossRate = *loss
-		sc.BFSTree = *bfs
-		sc.TraceCapacity = *traceN
-		if *failures > 0 || *loss > 0 {
-			sc.QueryCfg.FailureThreshold = 3
-		}
-		for i := 0; i < *failures; i++ {
-			sc.Failures = append(sc.Failures, essat.Failure{
-				At:   sc.Duration / 4 * time.Duration(i+1) / time.Duration(*failures),
-				Node: -1,
-			})
-		}
-		rng := rand.New(rand.NewSource(seed * 7919))
-		sc.Queries = essat.QueryClasses(rng, *rate, *perClass, 10*time.Second)
-		if *dissem > 0 {
-			sc.Dissemination = []essat.DisseminationSpec{{
-				ID: -1, Period: *dissem, Phase: 5 * time.Second,
-			}}
-		}
-		for i := 0; i < *peers; i++ {
-			sc.PeerFlows = append(sc.PeerFlows, essat.P2PSpec{
-				ID: essat.QueryID(-(i + 2)), Src: -1, Dst: -1,
-				Period: time.Second, Phase: 5 * time.Second,
-			})
-		}
-		sc.BatteryJ = *battery
-
-		res, err := essat.Run(sc)
+		res, err := essat.RunSpec(&run)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "essat-sim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		duty.Add(res.DutyCycle * 100)
 		lat.Add(res.Latency.Mean.Seconds())
 		last = res
 	}
 
-	fmt.Printf("protocol       %s\n", *protocol)
+	printResult(spec, last, duty, lat, *verbose)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "essat-sim:", err)
+	os.Exit(1)
+}
+
+// specFromFlags translates the classic flag interface into the same
+// declarative spec the -scenario path uses, so both run identically.
+func specFromFlags(protocol, topo string, rate float64, perClass, nodes int, area float64,
+	duration, deadline, tbe time.Duration, loss float64, failures int, bfs bool,
+	traceN int, dissem time.Duration, peers int, battery float64) *essat.Spec {
+
+	spec := &essat.Spec{
+		Protocol:      protocol,
+		Topology:      topo,
+		Nodes:         nodes,
+		Area:          area,
+		Duration:      essat.Dur(duration),
+		Deadline:      essat.Dur(deadline),
+		Loss:          loss,
+		BFSTree:       bfs,
+		BatteryJ:      battery,
+		TraceCapacity: traceN,
+		Workload:      &essat.Workload{BaseRate: rate, PerClass: perClass},
+	}
+	if tbe >= 0 {
+		be := essat.Dur(tbe)
+		spec.BreakEven = &be
+	}
+	if failures > 0 || loss > 0 {
+		spec.FailureThreshold = 3
+	}
+	for i := 0; i < failures; i++ {
+		spec.Failures = append(spec.Failures, essat.FailureSpec{
+			At: essat.Dur(duration / 4 * time.Duration(i+1) / time.Duration(failures)),
+		})
+	}
+	if dissem > 0 {
+		spec.Dissemination = []essat.FlowSpec{{
+			ID: -1, Period: essat.Dur(dissem), Phase: essat.Dur(5 * time.Second),
+		}}
+	}
+	for i := 0; i < peers; i++ {
+		spec.Peers = append(spec.Peers, essat.FlowSpec{
+			ID: int64(-(i + 2)), Period: essat.Dur(time.Second), Phase: essat.Dur(5 * time.Second),
+		})
+	}
+	return spec
+}
+
+func printRegistries() {
+	fmt.Println("protocols:")
+	for _, p := range essat.AllProtocols() {
+		fmt.Printf("  %s\n", p)
+	}
+	fmt.Println("\ntopology generators:")
+	for _, g := range essat.TopologyGenerators() {
+		fmt.Printf("  %s\n", g)
+	}
+	fmt.Println("\nfigures (essat-bench -fig):")
+	for _, f := range essat.FigureCatalog() {
+		fmt.Printf("  %-20s %s\n", f.ID, f.Title)
+	}
+}
+
+func printResult(spec *essat.Spec, last *essat.Result, duty, lat stats.Welford, verbose bool) {
+	fmt.Printf("protocol       %s\n", spec.Protocol)
+	if spec.Topology != "" {
+		fmt.Printf("topology       %s\n", spec.Topology)
+	}
 	fmt.Printf("tree           %d members, max rank %d\n", last.TreeSize, last.MaxRank)
 	fmt.Printf("duty cycle     %.2f%% ± %.2f (90%% CI over %d seeds)\n", duty.Mean(), duty.CI90(), duty.N())
 	fmt.Printf("query latency  %.3fs ± %.3f (mean of per-interval max-source latency)\n", lat.Mean(), lat.CI90())
@@ -103,11 +180,11 @@ func main() {
 		fmt.Printf("battery        %d nodes exhausted; first death at %v\n",
 			last.BatteryDeaths, last.FirstDeath.Round(time.Second))
 	}
-	if *dissem > 0 {
+	if len(spec.Dissemination) > 0 {
 		fmt.Printf("dissemination  %.1f%% delivery, %v mean latency\n",
 			last.DisseminationDelivery*100, last.DisseminationLatency.Round(time.Millisecond))
 	}
-	if *peers > 0 {
+	if len(spec.Peers) > 0 {
 		fmt.Printf("peer flows     %.1f%% delivery, %v mean latency\n",
 			last.P2PDelivery*100, last.P2PLatency.Round(time.Millisecond))
 	}
@@ -118,7 +195,7 @@ func main() {
 	fmt.Printf("traffic        %d MAC frames sent, %d failed, %d retries, %d timeouts, %d pass-throughs\n",
 		last.MACSent, last.MACFailed, last.MACRetries, last.Timeouts, last.PassThroughs)
 
-	if *verbose {
+	if verbose {
 		fmt.Println("\nduty cycle by rank (last seed):")
 		ranks := make([]int, 0, len(last.DutyByRank))
 		for r := range last.DutyByRank {
@@ -146,7 +223,7 @@ func main() {
 		fmt.Printf("events: %d simulator events\n", last.Events)
 	}
 
-	if *traceN > 0 {
+	if len(last.Trace) > 0 {
 		fmt.Printf("\nlast %d structured events (last seed):\n", len(last.Trace))
 		for _, e := range last.Trace {
 			fmt.Println(" ", e)

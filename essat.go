@@ -21,16 +21,31 @@
 //
 // # Quick start
 //
+// Declaratively, from a JSON-serializable spec (protocols and topology
+// generators are named registry entries — see AllProtocols and
+// TopologyGenerators):
+//
+//	res, err := essat.RunSpec(&essat.Spec{
+//		Protocol: "DTS-SS",
+//		Topology: "grid",
+//		Duration: essat.Dur(60 * time.Second),
+//		Workload: &essat.Workload{BaseRate: 1.0, PerClass: 1},
+//	})
+//	// res.DutyCycle, res.Latency, ...
+//
+// or imperatively, with full control over every Scenario knob:
+//
 //	sc := essat.DefaultScenario(essat.DTSSS, 1)
 //	sc.Queries = essat.QueryClasses(rand.New(rand.NewSource(1)), 1.0, 1, 10*time.Second)
 //	res, err := essat.Run(sc)
-//	// res.DutyCycle, res.Latency, ...
 //
-// See examples/ for runnable programs and cmd/essat-bench for the full
-// figure suite. The figure drivers execute their (protocol, parameter,
-// seed) grids on a bounded worker pool with deterministic aggregation —
-// output is byte-identical for any worker count; see BENCHMARKS.md for
-// the benchmark workflow and the BENCH_*.json throughput format.
+// See ARCHITECTURE.md for the layer stack and how to register new
+// protocols or topology generators, examples/ for runnable programs,
+// and cmd/essat-bench for the full figure suite. The figure drivers
+// execute their (protocol, parameter, seed) grids on a bounded worker
+// pool with deterministic aggregation — output is byte-identical for
+// any worker count; see BENCHMARKS.md for the benchmark workflow and
+// the BENCH_*.json throughput format.
 package essat
 
 import (
@@ -40,37 +55,47 @@ import (
 
 	"github.com/essat/essat/internal/core"
 	"github.com/essat/essat/internal/experiment"
+	"github.com/essat/essat/internal/protocol"
 	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/topology"
 )
 
-// Protocol selects a power-management protocol.
-type Protocol = experiment.Protocol
+// Protocol selects a power-management protocol by its registry name.
+type Protocol = protocol.Protocol
 
 // The implemented protocols: the three ESSAT variants and the paper's
-// three baselines.
+// three baselines (single source of truth: the internal/protocol
+// registry).
 const (
 	// NTSSS is Safe Sleep without traffic shaping (§4.2.1).
-	NTSSS = experiment.NTSSS
+	NTSSS = protocol.NTSSS
 	// STSSS is Safe Sleep with the static traffic shaper (§4.2.2).
-	STSSS = experiment.STSSS
+	STSSS = protocol.STSSS
 	// DTSSS is Safe Sleep with the dynamic traffic shaper (§4.2.3).
-	DTSSS = experiment.DTSSS
+	DTSSS = protocol.DTSSS
 	// SPAN keeps a backbone of non-leaf tree nodes always on; leaves run
 	// NTS-SS (the paper's §5 configuration of SPAN).
-	SPAN = experiment.SPAN
+	SPAN = protocol.SPAN
 	// PSM is IEEE 802.11 power-save with traffic advertisements.
-	PSM = experiment.PSM
+	PSM = protocol.PSM
 	// SYNC is a synchronized fixed 20% duty cycle.
-	SYNC = experiment.SYNC
+	SYNC = protocol.SYNC
 	// TMAC is the adaptive-active-window baseline from the paper's
 	// related-work discussion (van Dam & Langendoen, reference [12]).
-	TMAC = experiment.TMAC
+	TMAC = protocol.TMAC
 )
 
-// AllProtocols lists every protocol in presentation order.
-func AllProtocols() []Protocol {
-	return append([]Protocol(nil), experiment.AllProtocols...)
-}
+// AllProtocols lists every registered protocol in presentation order.
+func AllProtocols() []Protocol { return protocol.All() }
+
+// TopologyGenerators lists every registered placement generator
+// ("uniform", "grid", "clusters", "corridor", ...); select one via
+// Spec.Topology or Scenario.Topology.Generator.
+func TopologyGenerators() []string { return topology.GeneratorNames() }
+
+// TopologyConfig describes a deployment: scale plus placement
+// generator; it is the type of Scenario.Topology.
+type TopologyConfig = topology.Config
 
 // QuerySpec describes one periodic query: period P, start phase φ, and a
 // class label for result grouping.
@@ -119,6 +144,56 @@ func DefaultScenario(p Protocol, seed int64) Scenario {
 
 // Run executes a scenario and returns its metrics.
 func Run(sc Scenario) (*Result, error) { return experiment.Run(sc) }
+
+// Sim is a fully built scenario paused at time zero; see Build.
+type Sim = experiment.Sim
+
+// Build constructs a scenario's simulation without running it, for
+// callers that want to inspect or instrument the stack between the
+// explicit build → simulate → collect stages:
+//
+//	s, err := essat.Build(sc)
+//	s.Simulate()
+//	res := s.Collect()
+func Build(sc Scenario) (*Sim, error) { return experiment.Build(sc) }
+
+// Spec is the declarative, JSON-serializable description of one
+// scenario; see RunSpec, LoadSpec, and the Spec field docs.
+type Spec = experiment.Spec
+
+// Workload generates the paper's three-class workload from a Spec.
+type Workload = experiment.WorkloadSpec
+
+// FailureSpec, QueryStopSpec and FlowSpec are the Spec forms of
+// failures, query stops, and dissemination/peer flows.
+type (
+	FailureSpec   = experiment.FailureSpec
+	QueryStopSpec = experiment.QueryStopSpec
+	FlowSpec      = experiment.FlowSpec
+)
+
+// Duration is the JSON-friendly duration used throughout Spec; it
+// marshals as a Go duration string ("250ms").
+type Duration = experiment.Duration
+
+// Dur converts a time.Duration to the Spec form.
+func Dur(d time.Duration) Duration { return experiment.Dur(d) }
+
+// ParseSpec decodes a JSON spec, rejecting unknown fields.
+func ParseSpec(data []byte) (*Spec, error) { return experiment.ParseSpec(data) }
+
+// LoadSpec reads and decodes a JSON spec file.
+func LoadSpec(path string) (*Spec, error) { return experiment.LoadSpec(path) }
+
+// RunSpec compiles and runs a declarative spec.
+func RunSpec(s *Spec) (*Result, error) { return experiment.RunSpec(s) }
+
+// FigureInfo names one figure driver; see FigureCatalog.
+type FigureInfo = experiment.FigureInfo
+
+// FigureCatalog lists every figure and study driver in presentation
+// order (the IDs accepted by essat-bench -fig).
+func FigureCatalog() []FigureInfo { return experiment.FigureCatalog() }
 
 // QueryClasses builds the paper's three-class workload with rate ratio
 // Q1:Q2:Q3 = 6:3:2, Q1 at baseRate Hz, perClass queries per class, and

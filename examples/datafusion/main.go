@@ -15,36 +15,36 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
 	"github.com/essat/essat"
 )
 
 func main() {
-	base := func(seed int64, peers int) (*essat.Result, error) {
-		sc := essat.DefaultScenario(essat.DTSSS, seed)
-		sc.Duration = 60 * time.Second
-		rng := rand.New(rand.NewSource(seed * 23))
-		sc.Queries = essat.QueryClasses(rng, 1.0, 1, 10*time.Second)
+	base := func(peers int) (*essat.Result, error) {
+		spec := essat.Spec{
+			Protocol: "DTS-SS",
+			Seed:     1,
+			Duration: essat.Dur(60 * time.Second),
+			Workload: &essat.Workload{BaseRate: 1.0, PerClass: 1, Seed: 23},
+		}
 		for i := 0; i < peers; i++ {
-			sc.PeerFlows = append(sc.PeerFlows, essat.P2PSpec{
-				ID:           essat.QueryID(-(i + 1)), // disjoint from query IDs
-				Src:          -1,                      // random pair per seed
-				Dst:          -1,
-				Period:       500 * time.Millisecond, // 2 Hz fusion exchange
-				Phase:        5 * time.Second,
-				HopAllowance: 30 * time.Millisecond,
+			spec.Peers = append(spec.Peers, essat.FlowSpec{
+				ID:           int64(-(i + 1)),                   // disjoint from query IDs
+				Period:       essat.Dur(500 * time.Millisecond), // 2 Hz fusion exchange
+				Phase:        essat.Dur(5 * time.Second),
+				HopAllowance: essat.Dur(30 * time.Millisecond),
+				// Src/Dst omitted: a random pair per flow.
 			})
 		}
-		return essat.Run(sc)
+		return essat.RunSpec(&spec)
 	}
 
-	queriesOnly, err := base(1, 0)
+	queriesOnly, err := base(0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fused, err := base(1, 4)
+	fused, err := base(4)
 	if err != nil {
 		log.Fatal(err)
 	}

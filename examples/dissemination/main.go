@@ -15,34 +15,32 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
 	"github.com/essat/essat"
 )
 
 func main() {
-	base := func(seed int64) essat.Scenario {
-		sc := essat.DefaultScenario(essat.DTSSS, seed)
-		sc.Duration = 60 * time.Second
-		rng := rand.New(rand.NewSource(seed * 13))
-		sc.Queries = essat.QueryClasses(rng, 1.0, 1, 10*time.Second)
-		return sc
+	spec := essat.Spec{
+		Protocol: "DTS-SS",
+		Seed:     1,
+		Duration: essat.Dur(60 * time.Second),
+		Workload: &essat.Workload{BaseRate: 1.0, PerClass: 1, Seed: 13},
 	}
 
-	up, err := essat.Run(base(1))
+	up, err := essat.RunSpec(&spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	both := base(1)
-	both.Dissemination = []essat.DisseminationSpec{{
+	both := spec
+	both.Dissemination = []essat.FlowSpec{{
 		ID:           -1, // disjoint from query IDs
-		Period:       2 * time.Second,
-		Phase:        5 * time.Second,
-		HopAllowance: 50 * time.Millisecond,
+		Period:       essat.Dur(2 * time.Second),
+		Phase:        essat.Dur(5 * time.Second),
+		HopAllowance: essat.Dur(50 * time.Millisecond),
 	}}
-	res, err := essat.Run(both)
+	res, err := essat.RunSpec(&both)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,7 +13,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
 	"github.com/essat/essat"
@@ -21,19 +20,21 @@ import (
 
 func main() {
 	run := func(loss float64, failures int) *essat.Result {
-		sc := essat.DefaultScenario(essat.DTSSS, 3)
-		sc.Duration = 120 * time.Second
-		sc.LossRate = loss
-		sc.QueryCfg.FailureThreshold = 3 // enable §4.3 failure detection
+		spec := essat.Spec{
+			Protocol:         "DTS-SS",
+			Seed:             3,
+			Duration:         essat.Dur(120 * time.Second),
+			Loss:             loss,
+			FailureThreshold: 3, // enable §4.3 failure detection
+			Workload:         &essat.Workload{BaseRate: 1.0, PerClass: 1, Seed: 11},
+		}
 		for i := 0; i < failures; i++ {
-			sc.Failures = append(sc.Failures, essat.Failure{
-				At:   30*time.Second + time.Duration(i)*20*time.Second,
-				Node: -1, // random non-leaf victim
+			spec.Failures = append(spec.Failures, essat.FailureSpec{
+				// Node omitted: a random non-leaf victim per failure.
+				At: essat.Dur(30*time.Second + time.Duration(i)*20*time.Second),
 			})
 		}
-		rng := rand.New(rand.NewSource(11))
-		sc.Queries = essat.QueryClasses(rng, 1.0, 1, 10*time.Second)
-		res, err := essat.Run(sc)
+		res, err := essat.RunSpec(&spec)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -15,7 +15,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
 	"github.com/essat/essat"
@@ -23,14 +22,13 @@ import (
 
 type phase struct {
 	name     string
-	baseRate float64
-	perClass int
+	workload essat.Workload
 }
 
 func main() {
 	phases := []phase{
-		{name: "quiet (0.2 Hz, 1 query/class)", baseRate: 0.2, perClass: 1},
-		{name: "alarm (1 Hz, 6 queries/class)", baseRate: 1.0, perClass: 6},
+		{"quiet (0.2 Hz, 1 query/class)", essat.Workload{BaseRate: 0.2, PerClass: 1, Seed: 7}},
+		{"alarm (1 Hz, 6 queries/class)", essat.Workload{BaseRate: 1.0, PerClass: 6, Seed: 7}},
 	}
 	protocols := []essat.Protocol{essat.DTSSS, essat.STSSS, essat.NTSSS, essat.SPAN, essat.SYNC}
 
@@ -40,11 +38,13 @@ func main() {
 	for _, p := range protocols {
 		var duty [2]float64
 		for i, ph := range phases {
-			sc := essat.DefaultScenario(p, 1)
-			sc.Duration = 60 * time.Second
-			rng := rand.New(rand.NewSource(7))
-			sc.Queries = essat.QueryClasses(rng, ph.baseRate, ph.perClass, 10*time.Second)
-			res, err := essat.Run(sc)
+			ph := ph
+			res, err := essat.RunSpec(&essat.Spec{
+				Protocol: string(p),
+				Seed:     1,
+				Duration: essat.Dur(60 * time.Second),
+				Workload: &ph.workload,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}

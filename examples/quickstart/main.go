@@ -7,7 +7,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
 	"github.com/essat/essat"
@@ -15,16 +14,17 @@ import (
 
 func main() {
 	// The paper's setup: 80 nodes in 500×500 m², aggregation tree within
-	// 300 m of the central root, MICA2-like radio.
-	sc := essat.DefaultScenario(essat.DTSSS, 1)
-	sc.Duration = 60 * time.Second
-
-	// Three query classes with rate ratio 6:3:2, base rate 1 Hz, starting
-	// at random phases in the first 10 seconds.
-	rng := rand.New(rand.NewSource(42))
-	sc.Queries = essat.QueryClasses(rng, 1.0, 1, 10*time.Second)
-
-	res, err := essat.Run(sc)
+	// 300 m of the central root, MICA2-like radio — all defaults of the
+	// declarative spec. The workload is three query classes with rate
+	// ratio 6:3:2, base rate 1 Hz, starting at random phases in the
+	// first 10 seconds.
+	spec := essat.Spec{
+		Protocol: "DTS-SS",
+		Seed:     1,
+		Duration: essat.Dur(60 * time.Second),
+		Workload: &essat.Workload{BaseRate: 1.0, PerClass: 1, Seed: 42},
+	}
+	res, err := essat.RunSpec(&spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,10 +38,10 @@ func main() {
 	fmt.Printf("  DTS overhead:         %.3f piggybacked bits per report (%d phase shifts)\n",
 		res.PhaseUpdateBitsPerReport, res.PhaseShifts)
 
-	// For contrast, the same workload under the SYNC baseline.
-	sc2 := sc
-	sc2.Protocol = essat.SYNC
-	res2, err := essat.Run(sc2)
+	// For contrast, the same workload under the SYNC baseline: only the
+	// protocol name changes.
+	spec.Protocol = "SYNC"
+	res2, err := essat.RunSpec(&spec)
 	if err != nil {
 		log.Fatal(err)
 	}

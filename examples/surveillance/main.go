@@ -3,11 +3,11 @@
 // report all suspicious events within a few seconds in order to ensure
 // timely response to intrusions".
 //
-// The example runs the same 2 Hz detection query under every protocol and
-// checks which ones meet a 500 ms reporting deadline, and at what energy
-// cost. It demonstrates the paper's core trade-off: ESSAT protocols reach
-// near-SPAN latency at a fraction of the energy, while PSM and SYNC save
-// energy only by blowing the deadline.
+// The example runs the same 2 Hz detection query under every registered
+// protocol and checks which ones meet a 500 ms reporting deadline, and
+// at what energy cost. It demonstrates the paper's core trade-off: ESSAT
+// protocols reach near-SPAN latency at a fraction of the energy, while
+// PSM and SYNC save energy only by blowing the deadline.
 //
 //	go run ./examples/surveillance
 package main
@@ -15,7 +15,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
 	"github.com/essat/essat"
@@ -34,13 +33,17 @@ func main() {
 		var duty, lat, p95 float64
 		met := true
 		for seed := int64(1); seed <= seeds; seed++ {
-			sc := essat.DefaultScenario(p, seed)
-			sc.Duration = 60 * time.Second
-			rng := rand.New(rand.NewSource(seed * 31))
 			// One query per class, base rate 2 Hz: Q1 is the 2 Hz
 			// detection stream; Q2/Q3 are slower housekeeping queries.
-			sc.Queries = essat.QueryClasses(rng, 2.0, 1, 5*time.Second)
-			res, err := essat.Run(sc)
+			res, err := essat.RunSpec(&essat.Spec{
+				Protocol: string(p),
+				Seed:     seed,
+				Duration: essat.Dur(60 * time.Second),
+				Workload: &essat.Workload{
+					BaseRate: 2.0, PerClass: 1,
+					PhaseMax: essat.Dur(5 * time.Second), Seed: seed * 31,
+				},
+			})
 			if err != nil {
 				log.Fatal(err)
 			}

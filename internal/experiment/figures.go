@@ -25,6 +25,11 @@ type Options struct {
 	Nodes int
 	// Parallelism bounds concurrent runs; 0 means GOMAXPROCS.
 	Parallelism int
+	// Topology selects a placement generator by registry name; empty
+	// keeps the paper's uniform-random deployment. TopologyParams passes
+	// the generator's knobs (see internal/topology).
+	Topology       string
+	TopologyParams map[string]float64
 }
 
 // PaperOptions reproduces the paper's full experimental setting.
@@ -214,10 +219,41 @@ func (o Options) scenario(p Protocol, seed int64) Scenario {
 	sc := DefaultScenario(p, seed)
 	sc.Duration = o.Duration
 	sc.Topology.NumNodes = o.Nodes
+	sc.Topology.Generator = o.Topology
+	sc.Topology.Params = o.TopologyParams
 	if sc.MeasureFrom >= sc.Duration {
 		sc.MeasureFrom = sc.Duration / 5
 	}
 	return sc
+}
+
+// FigureInfo describes one figure driver for listings (essat-sim -list,
+// essat-bench -fig).
+type FigureInfo struct {
+	ID    string
+	Title string
+}
+
+// FigureCatalog lists every figure and study driver this package can
+// regenerate, in presentation order.
+func FigureCatalog() []FigureInfo {
+	return []FigureInfo{
+		{"fig2", "Impact of query deadline on duty cycle and query latency of STS-SS"},
+		{"fig3", "Average duty cycle when varying base rate"},
+		{"fig4", "Average duty cycle when varying queries per class"},
+		{"fig5", "Distribution of duty cycles at different ranks"},
+		{"fig6", "Query latency when varying base rate"},
+		{"fig7", "Query latency when varying queries per class"},
+		{"fig8", "Histogram of sleep intervals (TBE=0)"},
+		{"fig9", "Impact of break-even time on DTS-SS duty cycle"},
+		{"overhead", "DTS phase-update overhead (§4.2.3)"},
+		{"ablation-guard", "Safe Sleep break-even guard vs naive sleep-any-gap"},
+		{"ablation-buffering", "Early-report buffering vs greedy early send"},
+		{"ablation-tree", "Setup-flood tree vs idealized BFS tree"},
+		{"robustness-loss", "Root coverage under transient packet loss (§4.3)"},
+		{"robustness-failures", "DTS-SS under mid-run node failures (§4.3)"},
+		{"lifetime", "Network lifetime with finite batteries (§4.2.1)"},
+	}
 }
 
 // Fig2Deadline reproduces Figure 2: the impact of the STS query deadline

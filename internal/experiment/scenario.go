@@ -14,6 +14,7 @@ import (
 	"github.com/essat/essat/internal/mac"
 	"github.com/essat/essat/internal/node"
 	"github.com/essat/essat/internal/phy"
+	"github.com/essat/essat/internal/protocol"
 	"github.com/essat/essat/internal/query"
 	"github.com/essat/essat/internal/radio"
 	"github.com/essat/essat/internal/routing"
@@ -23,25 +24,27 @@ import (
 	"github.com/essat/essat/internal/trace"
 )
 
-// Protocol selects the power-management protocol under test.
-type Protocol string
+// Protocol selects the power-management protocol under test. The
+// implemented protocols live in the internal/protocol registry; this
+// package re-exports the names for convenience.
+type Protocol = protocol.Protocol
 
 // The five protocols of the paper's evaluation plus SYNC, plus T-MAC
 // from the paper's related-work discussion (§2, reference [12]).
 const (
-	NTSSS Protocol = "NTS-SS"
-	STSSS Protocol = "STS-SS"
-	DTSSS Protocol = "DTS-SS"
-	SPAN  Protocol = "SPAN"
-	PSM   Protocol = "PSM"
-	SYNC  Protocol = "SYNC"
-	TMAC  Protocol = "TMAC"
+	NTSSS = protocol.NTSSS
+	STSSS = protocol.STSSS
+	DTSSS = protocol.DTSSS
+	SPAN  = protocol.SPAN
+	PSM   = protocol.PSM
+	SYNC  = protocol.SYNC
+	TMAC  = protocol.TMAC
 )
 
-// AllProtocols lists every implemented protocol in presentation order.
+// AllProtocols lists every registered protocol in presentation order.
 // (TMAC is excluded from the paper's figures, which predate it in this
 // harness, but participates in smoke tests and examples.)
-var AllProtocols = []Protocol{DTSSS, STSSS, NTSSS, PSM, SPAN, SYNC, TMAC}
+var AllProtocols = protocol.All()
 
 // QueryStop deregisters a query at a given time, shrinking the workload.
 type QueryStop struct {
@@ -264,17 +267,60 @@ type Result struct {
 	NetworkLifetime       time.Duration
 }
 
-// Run executes the scenario and collects metrics.
+// Run executes the scenario and collects metrics. It is the composition
+// of the three explicit stages: Build (wire the deployment and protocol
+// stacks, schedule the workload), Sim.Simulate (drain the event queue),
+// and Sim.Collect (aggregate metrics).
 func Run(sc Scenario) (*Result, error) {
+	s, err := Build(sc)
+	if err != nil {
+		return nil, err
+	}
+	s.Simulate()
+	return s.Collect(), nil
+}
+
+// Sim is one fully built scenario, paused at time zero: engine,
+// topology, routing tree, channel, and per-node protocol stacks wired,
+// with the workload, failure injections, and measurement snapshots
+// already in the event queue. Callers may inspect or instrument the
+// exported pieces before Simulate.
+type Sim struct {
+	Scenario Scenario
+	Eng      *sim.Engine
+	Topo     *topology.Topology
+	Tree     *routing.Tree
+	Channel  *phy.Channel
+	Nodes    map[node.NodeID]*node.Node
+
+	sink      *stats.RootSink
+	tracer    *trace.Tracer
+	activeAt0 map[node.NodeID]time.Duration
+	energyAt0 map[node.NodeID]float64
+
+	firstDeath    time.Duration
+	batteryDeaths int
+}
+
+// Build constructs the scenario's simulation without running it: place
+// the topology (via the generator registry), build the routing tree,
+// attach the protocol stack to every member (via the protocol
+// registry), and schedule queries, stops, flows, failures, and the
+// warm-up snapshot.
+func Build(sc Scenario) (*Sim, error) {
 	if len(sc.Queries) == 0 {
 		return nil, fmt.Errorf("experiment: no queries configured")
 	}
 	if sc.Duration <= 0 {
 		return nil, fmt.Errorf("experiment: non-positive duration %v", sc.Duration)
 	}
+	builder, ok := protocol.Lookup(sc.Protocol)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown protocol %q (registered: %v)", sc.Protocol, protocol.All())
+	}
 	eng := sim.New(sc.Seed)
 
-	topo, err := topology.NewRandom(eng.Rand(), sc.Topology)
+	topo, err := topology.New(eng.Rand(), sc.Topology)
 	if err != nil {
 		return nil, err
 	}
@@ -316,6 +362,15 @@ func Run(sc Scenario) (*Result, error) {
 		tracer = trace.New(sc.TraceCapacity, eng.Now)
 	}
 
+	params := protocol.Params{
+		SSBreakEven:      sc.SSBreakEven,
+		DisableSafeSleep: sc.DisableSafeSleep,
+		STSDeadline:      sc.STSDeadline,
+		NoBuffering:      sc.NoBuffering,
+		SyncCfg:          sc.SyncCfg,
+		PsmCfg:           sc.PsmCfg,
+		TmacCfg:          sc.TmacCfg,
+	}
 	nodes := make(map[node.NodeID]*node.Node, tree.Size())
 	for _, id := range tree.Members() {
 		n := node.New(eng, id, tree, ch, sc.RadioCfg, macCfg)
@@ -329,7 +384,14 @@ func Run(sc Scenario) (*Result, error) {
 		if id == root {
 			s = sink
 		}
-		if err := wireProtocol(sc, eng, n, tree, s, qCfg); err != nil {
+		if err := builder.Build(&protocol.BuildContext{
+			Eng:      eng,
+			Node:     n,
+			Tree:     tree,
+			Sink:     s,
+			QueryCfg: qCfg,
+			Params:   params,
+		}); err != nil {
 			return nil, err
 		}
 		nodes[id] = n
@@ -436,10 +498,19 @@ func Run(sc Scenario) (*Result, error) {
 		})
 	}
 
+	sm := &Sim{
+		Scenario: sc,
+		Eng:      eng,
+		Topo:     topo,
+		Tree:     tree,
+		Channel:  ch,
+		Nodes:    nodes,
+		sink:     sink,
+		tracer:   tracer,
+	}
+
 	// Battery exhaustion: poll each node's consumption once per simulated
 	// second and kill nodes that drained their budget.
-	var firstDeath time.Duration
-	batteryDeaths := 0
 	if sc.BatteryJ > 0 {
 		prof := radio.Mica2Power()
 		var check func()
@@ -450,10 +521,10 @@ func Run(sc Scenario) (*Result, error) {
 					continue
 				}
 				if n.Radio.Energy(prof) >= sc.BatteryJ {
-					if firstDeath == 0 {
-						firstDeath = eng.Now()
+					if sm.firstDeath == 0 {
+						sm.firstDeath = eng.Now()
 					}
-					batteryDeaths++
+					sm.batteryDeaths++
 					n.Kill()
 					ch.Disable(id)
 				}
@@ -464,26 +535,36 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	// Snapshot radio accounting at MeasureFrom for warm-up exclusion.
-	activeAt0 := make(map[node.NodeID]time.Duration, len(nodes))
-	energyAt0 := make(map[node.NodeID]float64, len(nodes))
+	sm.activeAt0 = make(map[node.NodeID]time.Duration, len(nodes))
+	sm.energyAt0 = make(map[node.NodeID]float64, len(nodes))
 	profile := radio.Mica2Power()
 	eng.Schedule(sc.MeasureFrom, func() {
 		for id, n := range nodes {
-			activeAt0[id] = n.Radio.ActiveTime()
-			energyAt0[id] = n.Radio.Energy(profile)
+			sm.activeAt0[id] = n.Radio.ActiveTime()
+			sm.energyAt0[id] = n.Radio.Energy(profile)
 		}
 	})
 
-	eng.Run(sc.Duration)
+	return sm, nil
+}
 
-	res := collect(sc, eng, tree, ch, nodes, sink, activeAt0, energyAt0)
-	countRun(sc, res.Events)
-	res.FirstDeath = firstDeath
-	res.BatteryDeaths = batteryDeaths
-	if tracer != nil {
-		res.Trace = tracer.Events()
+// Simulate drains the event queue up to the scenario's duration. It
+// must run exactly once, between Build and Collect.
+func (s *Sim) Simulate() {
+	s.Eng.Run(s.Scenario.Duration)
+}
+
+// Collect aggregates the run's metrics into a Result. Call it after
+// Simulate.
+func (s *Sim) Collect() *Result {
+	res := collect(s.Scenario, s.Eng, s.Tree, s.Channel, s.Nodes, s.sink, s.activeAt0, s.energyAt0)
+	countRun(s.Scenario, res.Events)
+	res.FirstDeath = s.firstDeath
+	res.BatteryDeaths = s.batteryDeaths
+	if s.tracer != nil {
+		res.Trace = s.tracer.Events()
 	}
-	return res, nil
+	return res
 }
 
 // scheduleSetupSlot arranges the paper's setup-slot behavior for one
@@ -546,74 +627,6 @@ func pickVictim(rng *rand.Rand, tree *routing.Tree) node.NodeID {
 		return leaves[rng.Intn(len(leaves))]
 	}
 	return routing.None
-}
-
-// wireProtocol installs the protocol stack on one node.
-func wireProtocol(sc Scenario, eng *sim.Engine, n *node.Node, tree *routing.Tree, sink query.Sink, qCfg query.Config) error {
-	newSS := func(disabled bool) *core.SafeSleep {
-		return core.NewSafeSleep(eng, n.Radio, core.SafeSleepOptions{
-			BreakEven: sc.SSBreakEven,
-			WakeAhead: -1,
-			MACBusy:   n.MAC.Busy,
-			Disabled:  disabled || sc.DisableSafeSleep,
-		})
-	}
-	switch sc.Protocol {
-	case NTSSS:
-		ss := newSS(false)
-		n.InstallSleep(ss)
-		n.InstallAgent(core.NewNTS(n, ss), sink, qCfg)
-	case STSSS:
-		ss := newSS(false)
-		n.InstallSleep(ss)
-		sts := core.NewSTS(n, ss, sc.STSDeadline)
-		sts.NoBuffering = sc.NoBuffering
-		n.InstallAgent(sts, sink, qCfg)
-	case DTSSS:
-		ss := newSS(false)
-		n.InstallSleep(ss)
-		dts := core.NewDTS(n, ss)
-		dts.NoBuffering = sc.NoBuffering
-		n.InstallAgent(dts, sink, qCfg)
-	case SPAN:
-		// Backbone (non-leaf) nodes always on; leaves run NTS-SS.
-		ss := newSS(!tree.IsLeaf(n.ID()))
-		n.InstallSleep(ss)
-		n.InstallAgent(core.NewNTS(n, ss), sink, qCfg)
-	case PSM:
-		cfg := sc.PsmCfg
-		if cfg.BeaconPeriod == 0 {
-			cfg = baseline.DefaultPsmConfig()
-		}
-		pm := baseline.NewPsmPM(eng, n.ID(), n.Radio, n.MAC, cfg)
-		n.InstallPM(pm)
-		g := baseline.NewGreedy(n.Rank)
-		g.PerHopDelay = cfg.BeaconPeriod
-		n.InstallAgent(g, sink, qCfg)
-	case SYNC:
-		cfg := sc.SyncCfg
-		if cfg.Period == 0 {
-			cfg = baseline.DefaultSyncConfig()
-		}
-		pm := baseline.NewSyncPM(eng, n.Radio, cfg)
-		n.InstallPM(pm)
-		g := baseline.NewGreedy(n.Rank)
-		g.PerHopDelay = cfg.Period
-		n.InstallAgent(g, sink, qCfg)
-	case TMAC:
-		cfg := sc.TmacCfg
-		if cfg.FramePeriod == 0 {
-			cfg = baseline.DefaultTmacConfig()
-		}
-		pm := baseline.NewTmacPM(eng, n.Radio, n.MAC, cfg)
-		n.InstallPM(pm)
-		g := baseline.NewGreedy(n.Rank)
-		g.PerHopDelay = cfg.FramePeriod
-		n.InstallAgent(g, sink, qCfg)
-	default:
-		return fmt.Errorf("experiment: unknown protocol %q", sc.Protocol)
-	}
-	return nil
 }
 
 func collect(sc Scenario, eng *sim.Engine, tree *routing.Tree, ch *phy.Channel,

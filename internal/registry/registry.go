@@ -1,0 +1,59 @@
+// Package registry provides the rank-ordered, name-keyed registry
+// shared by the pluggable layers (protocols, topology generators).
+// Registries are written only from init functions; reads after init are
+// concurrency-safe without locking.
+package registry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry maps names to values with a presentation rank.
+type Registry[K ~string, V any] struct {
+	kind    string
+	entries map[K]entry[V]
+}
+
+type entry[V any] struct {
+	rank int
+	v    V
+}
+
+// New creates an empty registry; kind names the layer in panic
+// messages ("protocol", "topology generator").
+func New[K ~string, V any](kind string) *Registry[K, V] {
+	return &Registry[K, V]{kind: kind, entries: map[K]entry[V]{}}
+}
+
+// Register adds v under name. rank orders Names() for presentation
+// (lower first); ties break by name. Register panics on duplicates:
+// registered names are identities, not overridable hooks.
+func (r *Registry[K, V]) Register(name K, rank int, v V) {
+	if _, dup := r.entries[name]; dup {
+		panic(fmt.Sprintf("%s: duplicate registration of %q", r.kind, string(name)))
+	}
+	r.entries[name] = entry[V]{rank: rank, v: v}
+}
+
+// Lookup returns the value registered under name.
+func (r *Registry[K, V]) Lookup(name K) (V, bool) {
+	e, ok := r.entries[name]
+	return e.v, ok
+}
+
+// Names lists every registered name in presentation order.
+func (r *Registry[K, V]) Names() []K {
+	out := make([]K, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := r.entries[out[i]].rank, r.entries[out[j]].rank
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

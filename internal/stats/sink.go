@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"sort"
 	"time"
 
 	"github.com/essat/essat/internal/query"
@@ -78,17 +79,42 @@ func (s *RootSink) IntervalClosed(q query.ID, k int, latency time.Duration, cove
 	ir.coverage = coverage
 }
 
+// sortedQueries returns the query records in ID order, and forEach
+// visits one query's intervals in index order. Aggregation must not
+// follow map order: float accumulation and slice order would then vary
+// between identical runs.
+func (s *RootSink) sortedQueries() []*queryRec {
+	out := make([]*queryRec, 0, len(s.queries))
+	for _, qr := range s.queries {
+		out = append(out, qr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].spec.ID < out[j].spec.ID })
+	return out
+}
+
+func (qr *queryRec) forEach(fn func(*intervalRec)) {
+	ks := make([]int, 0, len(qr.intervals))
+	for k := range qr.intervals {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		fn(qr.intervals[k])
+	}
+}
+
 // LatencyByClass returns per-interval completion latencies grouped by
 // query class. Intervals with no arrivals at all (total data loss) are
 // skipped.
 func (s *RootSink) LatencyByClass() map[int][]time.Duration {
 	out := make(map[int][]time.Duration)
-	for _, qr := range s.queries {
-		for _, ir := range qr.intervals {
+	for _, qr := range s.sortedQueries() {
+		qr := qr
+		qr.forEach(func(ir *intervalRec) {
 			if ir.lastArrival > 0 {
 				out[qr.spec.Class] = append(out[qr.spec.Class], ir.lastArrival)
 			}
-		}
+		})
 	}
 	return out
 }
@@ -96,8 +122,12 @@ func (s *RootSink) LatencyByClass() map[int][]time.Duration {
 // Latencies returns all per-interval completion latencies.
 func (s *RootSink) Latencies() []time.Duration {
 	var out []time.Duration
-	for _, ls := range s.LatencyByClass() {
-		out = append(out, ls...)
+	for _, qr := range s.sortedQueries() {
+		qr.forEach(func(ir *intervalRec) {
+			if ir.lastArrival > 0 {
+				out = append(out, ir.lastArrival)
+			}
+		})
 	}
 	return out
 }
@@ -106,12 +136,12 @@ func (s *RootSink) Latencies() []time.Duration {
 // how many source samples the root's aggregate folded in per interval.
 func (s *RootSink) MeanCoverage() float64 {
 	var w Welford
-	for _, qr := range s.queries {
-		for _, ir := range qr.intervals {
+	for _, qr := range s.sortedQueries() {
+		qr.forEach(func(ir *intervalRec) {
 			if ir.closed {
 				w.Add(float64(ir.coverage))
 			}
-		}
+		})
 	}
 	return w.Mean()
 }

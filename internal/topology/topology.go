@@ -23,7 +23,8 @@ type Topology struct {
 	neighbors [][]NodeID
 }
 
-// Config describes a random deployment.
+// Config describes a deployment: its scale plus the placement generator
+// that shapes it.
 type Config struct {
 	// NumNodes is the number of nodes to place.
 	NumNodes int
@@ -31,6 +32,14 @@ type Config struct {
 	AreaSide float64
 	// Range is the communication range in meters (unit-disc model).
 	Range float64
+	// Generator selects the placement shape by registry name ("uniform",
+	// "grid", "clusters", "corridor"); empty selects uniform-random, the
+	// paper's deployment. See New.
+	Generator string
+	// Params passes generator-specific knobs (e.g. grid "jitter",
+	// clusters "clusters"/"spread", corridor "width"); see each
+	// generator's doc.
+	Params map[string]float64
 }
 
 // DefaultConfig returns the deployment used throughout the paper's
@@ -39,13 +48,11 @@ func DefaultConfig() Config {
 	return Config{NumNodes: 80, AreaSide: 500, Range: 125}
 }
 
-// NewRandom places cfg.NumNodes nodes uniformly at random using rng.
+// NewRandom places cfg.NumNodes nodes uniformly at random using rng,
+// ignoring cfg.Generator. Prefer New, which dispatches on it.
 func NewRandom(rng *rand.Rand, cfg Config) (*Topology, error) {
-	if cfg.NumNodes <= 0 {
-		return nil, fmt.Errorf("topology: NumNodes must be positive, got %d", cfg.NumNodes)
-	}
-	if cfg.AreaSide <= 0 || cfg.Range <= 0 {
-		return nil, fmt.Errorf("topology: AreaSide and Range must be positive, got %g and %g", cfg.AreaSide, cfg.Range)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	pts := geom.UniformPlacement(rng, cfg.NumNodes, cfg.AreaSide)
 	return FromPositions(pts, cfg.Range)
