@@ -158,3 +158,30 @@ func BenchmarkSingleRun(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLargeRun measures the 1000-node scale tier (testdata/
+// large.json, shortened): the spatial-hash topology build plus the
+// timer-wheel event loop at 12.5× the paper's node count. The same
+// scenario backs `essat-bench -scale`, which records it in the
+// BENCH_*.json `scale` section.
+func BenchmarkLargeRun(b *testing.B) {
+	spec, err := essat.LoadSpec("testdata/large.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Duration = essat.Dur(6 * time.Second)
+	spec.MeasureFrom = nil
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := *spec
+		res, err := essat.RunSpec(&run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Events)/6, "events/simsec")
+			b.ReportMetric(float64(res.TreeSize), "tree_members")
+		}
+	}
+}

@@ -11,7 +11,8 @@
 //	essat-bench -paper                     # the paper's full 200s × 5-seed setting
 //	essat-bench -fig 3 -fig 6              # just Figures 3 and 6
 //	essat-bench -parallel 8                # bound the worker pool at 8
-//	essat-bench -benchjson BENCH_after.json
+//	essat-bench -benchjson BENCH_after.json -scale testdata/large.json
+//	essat-bench -fig 3 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,17 +48,33 @@ type figBench struct {
 	SimSecPerSec float64 `json:"sim_seconds_per_sec"`
 }
 
+// scaleBench records the -scale scenario's throughput: one large run,
+// with the deterministic Build stage (topology spatial hash, flood tree,
+// per-node stacks) timed separately from the event-loop drain.
+type scaleBench struct {
+	Scenario     string  `json:"scenario"`
+	Nodes        int     `json:"nodes"`
+	TreeSize     int     `json:"tree_size"`
+	BuildSeconds float64 `json:"build_seconds"`
+	RunSeconds   float64 `json:"run_seconds"`
+	Events       uint64  `json:"events"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	SimSecPerSec float64 `json:"sim_seconds_per_sec"`
+}
+
 // benchReport is the top-level -benchjson document.
 type benchReport struct {
-	GoVersion   string     `json:"go_version"`
-	NumCPU      int        `json:"num_cpu"`
-	GOMAXPROCS  int        `json:"gomaxprocs"`
-	Parallelism int        `json:"parallelism"` // effective worker bound (GOMAXPROCS when -parallel is 0)
-	DurationSec float64    `json:"run_duration_seconds"`
-	Seeds       int        `json:"seeds"`
-	Nodes       int        `json:"nodes"`
-	Figures     []figBench `json:"figures"`
-	Total       figBench   `json:"total"`
+	GoVersion   string      `json:"go_version"`
+	NumCPU      int         `json:"num_cpu"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Parallelism int         `json:"parallelism"` // effective worker bound (GOMAXPROCS when -parallel is 0)
+	DurationSec float64     `json:"run_duration_seconds"`
+	Seeds       int         `json:"seeds"`
+	Nodes       int         `json:"nodes"`
+	Figures     []figBench  `json:"figures"`
+	Scale       *scaleBench `json:"scale,omitempty"`
+	Total       figBench    `json:"total"`
 }
 
 func main() {
@@ -68,6 +86,9 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS)")
 		topo     = flag.String("topology", "", "topology generator for every run (empty = the paper's uniform placement; see essat-sim -list)")
 		outJSON  = flag.String("benchjson", "", "write a throughput report (wall time, events/sec, sim-seconds/sec) to this file")
+		scale    = flag.String("scale", "", "also run this scenario spec once (e.g. testdata/large.json) and record a 'scale' section in the report")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	ablations := flag.Bool("ablations", false, "also run the DESIGN.md ablation and robustness studies")
 	flag.Var(&figs, "fig", "figure to regenerate (2-9 or 'overhead'); repeatable, default all")
@@ -92,6 +113,17 @@ func main() {
 	if *ablations {
 		figs = append(figs, "ablation-guard", "ablation-buffering", "ablation-tree",
 			"robustness-loss", "robustness-failures", "lifetime")
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	report := benchReport{
@@ -147,8 +179,7 @@ func main() {
 			err = fmt.Errorf("unknown figure %q", f)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "essat-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		report.Figures = append(report.Figures, throughput(fig.ID, time.Since(figStart)))
 		essat.PrintFigure(os.Stdout, fig)
@@ -156,6 +187,16 @@ func main() {
 	}
 	wall := time.Since(start)
 	fmt.Printf("total wall time: %v\n", wall.Round(time.Second))
+
+	if *scale != "" {
+		sb, err := runScale(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		report.Scale = sb
+		fmt.Printf("scale tier (%s): %d nodes, build %.2fs, run %.2fs, %.0f events/sec\n",
+			sb.Scenario, sb.Nodes, sb.BuildSeconds, sb.RunSeconds, sb.EventsPerSec)
+	}
 
 	if *outJSON != "" {
 		report.Total = figBench{ID: "total", WallSeconds: wall.Seconds()}
@@ -168,16 +209,69 @@ func main() {
 		report.Total.SimSecPerSec = report.Total.SimSeconds / wall.Seconds()
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "essat-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*outJSON, buf, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "essat-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("throughput report written to %s\n", *outJSON)
 	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	// os.Exit skips deferred handlers; flush any active CPU profile so a
+	// late error does not truncate -cpuprofile output (no-op otherwise).
+	pprof.StopCPUProfile()
+	fmt.Fprintln(os.Stderr, "essat-bench:", err)
+	os.Exit(1)
+}
+
+// runScale executes the scale-tier scenario once, timing the build stage
+// (topology, tree, per-node stacks) separately from the event-loop drain.
+// This is the same workload as the repo's BenchmarkLargeRun.
+func runScale(path string) (*scaleBench, error) {
+	spec, err := essat.LoadSpec(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := spec.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	buildStart := time.Now()
+	s, err := essat.Build(sc)
+	if err != nil {
+		return nil, err
+	}
+	buildWall := time.Since(buildStart)
+	runStart := time.Now()
+	s.Simulate()
+	res := s.Collect()
+	runWall := time.Since(runStart)
+	return &scaleBench{
+		Scenario:     path,
+		Nodes:        sc.Topology.NumNodes,
+		TreeSize:     res.TreeSize,
+		BuildSeconds: buildWall.Seconds(),
+		RunSeconds:   runWall.Seconds(),
+		Events:       res.Events,
+		SimSeconds:   sc.Duration.Seconds(),
+		EventsPerSec: float64(res.Events) / runWall.Seconds(),
+		SimSecPerSec: sc.Duration.Seconds() / runWall.Seconds(),
+	}, nil
 }
 
 // throughput snapshots the run counters accumulated since the last reset

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "", "run a declarative JSON scenario spec from this file (overrides the shape flags)")
+		scenario = flag.String("scenario", "", "run a declarative JSON scenario spec from this file (replaces the shape flags; an explicit -duration still overrides the file)")
 		list     = flag.Bool("list", false, "list registered protocols, topology generators, and figures, then exit")
 		protocol = flag.String("protocol", "DTS-SS", "protocol: DTS-SS, STS-SS, NTS-SS, SPAN, PSM, SYNC, TMAC (see -list)")
 		topo     = flag.String("topology", "", "topology generator: uniform, grid, clusters, corridor (empty = uniform)")
@@ -79,6 +79,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// The file replaces the shape flags, with one exception: an
+		// explicitly passed -duration overrides it, so large specs can be
+		// smoke-tested quickly (-scenario testdata/large.json -duration 5s)
+		// without editing them.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "duration" {
+				loaded.Duration = essat.Dur(*duration)
+				if loaded.MeasureFrom != nil && loaded.MeasureFrom.D() >= *duration {
+					loaded.MeasureFrom = nil
+				}
+			}
+		})
 		spec = loaded
 	}
 

@@ -46,6 +46,7 @@ type TmacPM struct {
 	buf          []psmItem
 	lastActivity time.Duration
 	checkEv      *sim.Event
+	checkFn      func() // prebound TA-deadline callback
 }
 
 var _ node.PowerManager = (*TmacPM)(nil)
@@ -57,6 +58,10 @@ func NewTmacPM(eng *sim.Engine, r *radio.Radio, m *mac.MAC, cfg TmacConfig) *Tma
 		panic("baseline: T-MAC needs 0 < TA <= FramePeriod")
 	}
 	p := &TmacPM{eng: eng, radio: r, mac: m, cfg: cfg}
+	p.checkFn = func() {
+		p.checkEv = nil
+		p.maybeSleep()
+	}
 	// Receptions and transmission completions are activation events.
 	r.Subscribe(func(old, new radio.State) {
 		if (old == radio.Rx || old == radio.Tx) && new == radio.Idle {
@@ -96,12 +101,11 @@ func (p *TmacPM) scheduleCheck() {
 		return // deadline already passed; the MAC idle callback re-checks
 	}
 	if p.checkEv != nil {
-		p.checkEv.Cancel()
+		// Move the armed deadline in place: no cancel, no new closure.
+		p.checkEv.RescheduleTo(at)
+		return
 	}
-	p.checkEv = p.eng.Schedule(at, func() {
-		p.checkEv = nil
-		p.maybeSleep()
-	})
+	p.checkEv = p.eng.Schedule(at, p.checkFn)
 }
 
 // maybeSleep powers down once TA expired with no activity and no pending

@@ -343,7 +343,10 @@ func (ss *SafeSleep) scheduleWake(twakeup time.Duration) {
 		if ss.wakeAt <= at {
 			return // existing wake-up is early enough
 		}
-		ss.wakeEv.Cancel()
+		// Pull the armed wake-up earlier in place instead of cancel+rearm.
+		ss.wakeEv.RescheduleTo(at)
+		ss.wakeAt = at
+		return
 	}
 	ss.wakeAt = at
 	ss.wakeEv = ss.eng.Schedule(at, ss.wakeFn)

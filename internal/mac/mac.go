@@ -404,7 +404,8 @@ func (m *MAC) carrierBusy() bool {
 }
 
 // setNAV extends the virtual-carrier-sense deadline and arranges to
-// resume contention when it expires.
+// resume contention when it expires. An already-armed NAV timer is moved
+// in place (O(1), no cancel tombstone) rather than canceled and rebuilt.
 func (m *MAC) setNAV(until time.Duration) {
 	if until <= m.navUntil {
 		return
@@ -412,9 +413,10 @@ func (m *MAC) setNAV(until time.Duration) {
 	m.navUntil = until
 	m.freeze()
 	if m.navEv != nil {
-		m.navEv.Cancel()
+		m.navEv.RescheduleTo(until)
+	} else {
+		m.navEv = m.eng.Schedule(until, m.navExpireFn)
 	}
-	m.navEv = m.eng.Schedule(until, m.navExpireFn)
 }
 
 // freeze suspends an in-progress countdown, crediting fully elapsed slots.

@@ -224,6 +224,20 @@ type runtime struct {
 	tickK  int
 }
 
+// sortedIntervalKs returns the open-interval keys in ascending order.
+// Every site that walks rt.intervals with side effects (closing may
+// submit reports, canceling/releasing feeds the pools) iterates in this
+// order: map order would vary the seq tie-break of same-instant events
+// and break run determinism.
+func (rt *runtime) sortedIntervalKs() []int {
+	ks := make([]int, 0, len(rt.intervals))
+	for k := range rt.intervals {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
 // txReport is a pooled in-flight report: the Report payload plus the
 // prebound submit timer and MAC-completion callbacks that reference it.
 type txReport struct {
@@ -651,14 +665,7 @@ func (a *Agent) ChildRemoved(child NodeID) {
 		rt := a.queries[qid]
 		a.shaper.ChildRemoved(qid, child)
 		delete(rt.consecMiss, child)
-		// Intervals in ascending k: closing may submit reports, and the
-		// submission order must not depend on map iteration.
-		ks := make([]int, 0, len(rt.intervals))
-		for k := range rt.intervals {
-			ks = append(ks, k)
-		}
-		sort.Ints(ks)
-		for _, k := range ks {
+		for _, k := range rt.sortedIntervalKs() {
 			iv := rt.intervals[k]
 			if iv.closed {
 				continue
@@ -699,7 +706,10 @@ func (a *Agent) Deregister(q ID) {
 	if !ok {
 		return
 	}
-	for _, iv := range rt.intervals {
+	// Ascending k, not map order: Deregister runs on the event path
+	// (mid-run query stops).
+	for _, k := range rt.sortedIntervalKs() {
+		iv := rt.intervals[k]
 		if iv.timeout != nil {
 			iv.timeout.Cancel()
 			iv.timeout = nil

@@ -5,29 +5,72 @@
 // time is involved. Events scheduled for the same instant fire in the
 // order they were scheduled, which makes runs bit-for-bit reproducible
 // for a given seed.
+//
+// The scheduler is a hierarchical timer wheel (Varghese–Lauck) with a
+// far-future overflow heap, sized for the simulator's workload: short-
+// horizon, high-churn MAC timers that are frequently canceled or moved.
+// Schedule, Cancel, and RescheduleTo are O(1) amortized; canceled events
+// are unlinked immediately (no tombstones drag through the queue) and
+// their structs recycled through a freelist, so the steady state of
+// schedule/fire/cancel is allocation-free.
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 )
 
-// Event is a handle to a scheduled callback. It may be canceled before it
-// fires. The zero value is not useful; Events are created by Engine.Schedule
-// and Engine.After.
+// Scheduler geometry. Virtual time is bucketed into ticks of 2^tickShift
+// nanoseconds; each wheel level has numSlots slots, and level l covers an
+// aligned block of numSlots^(l+1) ticks around the cursor. Events beyond
+// the top level's block (~73 minutes with this geometry) wait in the
+// overflow heap until the cursor's block reaches them.
+const (
+	tickShift = 10 // one tick = 1024 ns ≈ 1 µs
+	slotBits  = 8
+	numSlots  = 1 << slotBits
+	slotMask  = numSlots - 1
+	numLevels = 4
+	// horizonBits is how many tick bits the wheels resolve; ticks that
+	// differ from the cursor above this go to the overflow heap.
+	horizonBits = slotBits * numLevels
+)
+
+// Event locations. A scheduled event lives either in a wheel slot's
+// intrusive list or in the overflow heap; locNone (the zero value) means
+// fired, canceled, or pooled.
+const (
+	locNone uint8 = iota
+	locWheel
+	locHeap
+)
+
+// Event is a handle to a scheduled callback. It may be canceled or
+// rescheduled before it fires. The zero value is not useful; Events are
+// created by Engine.Schedule and Engine.After.
 //
-// Once an event has fired or a canceled event has been discarded, its
-// struct is recycled by the engine and handed out again by a later
-// Schedule. Holders must therefore drop their handle when the callback
-// runs (conventionally by clearing the field that stores it as the first
-// statement of the callback) and must not call Cancel or inspect a handle
-// after its event fired: it may alias a newer, unrelated event.
+// Once an event has fired or was canceled, its struct is recycled by the
+// engine and handed out again by a later Schedule. Holders must therefore
+// drop their handle when the callback runs (conventionally by clearing
+// the field that stores it as the first statement of the callback) and
+// must not call Cancel/RescheduleTo or inspect a handle after its event
+// fired or was canceled: it may alias a newer, unrelated event.
 type Event struct {
-	at       time.Duration
-	seq      uint64
-	fn       func()
-	canceled bool
+	at  time.Duration
+	seq uint64
+	fn  func()
+	eng *Engine
+
+	// Location state: intrusive doubly-linked slot list when in a wheel,
+	// index when in the overflow heap.
+	next, prev *Event
+	heapIdx    int32
+	level      uint8
+	slot       uint8
+	where      uint8
+	canceled   bool
 }
 
 // At returns the virtual time at which the event is scheduled to fire.
@@ -36,79 +79,73 @@ func (ev *Event) At() time.Duration { return ev.at }
 // Canceled reports whether Cancel was called on the event.
 func (ev *Event) Canceled() bool { return ev.canceled }
 
-// Cancel prevents the event from firing. Canceling an event that already
-// fired or was already canceled is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
-
-// eventQueue is a binary min-heap ordered by (at, seq), implemented
-// directly (no container/heap) to avoid interface dispatch on the
-// simulator's hottest operations. Cancellation is lazy, so events are
-// only ever pushed and popped from the root — no index bookkeeping.
-type eventQueue []*Event
-
-// less orders events by (at, seq): earlier time first, FIFO at ties.
-func (q eventQueue) less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Cancel prevents the event from firing. The event is unlinked from the
+// scheduler immediately — O(1), no tombstone — and its struct becomes
+// eligible for reuse by the next Schedule, so the handle is dead after
+// Cancel returns. Canceling an event that already fired or was already
+// canceled is a no-op.
+func (ev *Event) Cancel() {
+	if ev.where == locNone {
+		return
 	}
-	return q[i].seq < q[j].seq
+	e := ev.eng
+	e.detach(ev)
+	ev.canceled = true
+	e.live--
+	e.release(ev)
 }
 
-// push appends ev and restores the heap by sifting it up.
-func (q *eventQueue) push(ev *Event) {
-	*q = append(*q, ev)
-	h := *q
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
+// RescheduleTo moves a still-pending event to fire at virtual time at,
+// behaving exactly like Cancel followed by re-scheduling the same
+// callback (in particular, the event is ordered as the newest event at
+// its new instant). It is the allocation- and tombstone-free form of the
+// cancel-and-rearm pattern MAC/NAV-style timers use. Rescheduling an
+// event that is not pending, or into the past, panics.
+func (ev *Event) RescheduleTo(at time.Duration) {
+	if ev.where == locNone {
+		panic("sim: RescheduleTo on an event that is not scheduled")
 	}
+	e := ev.eng
+	if at < e.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, e.now))
+	}
+	e.detach(ev)
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	e.insert(ev)
 }
 
-// pop removes and returns the minimum event. The queue must be non-empty.
-func (q *eventQueue) pop() *Event {
-	h := *q
-	n := len(h) - 1
-	ev := h[0]
-	h[0] = h[n]
-	h[n] = nil
-	h = h[:n]
-	*q = h
-	// Sift the displaced element down.
-	i := 0
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		min := left
-		if right := left + 1; right < n && h.less(right, left) {
-			min = right
-		}
-		if !h.less(min, i) {
-			break
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
-	}
-	return ev
+// slotList is one wheel slot: an intrusive doubly-linked event list kept
+// sorted by (at, seq), so its head is the slot's earliest event. A level-0
+// slot holds a single tick, but a tick (2^tickShift ns) is coarser than
+// virtual time, so same-slot events may still differ in at.
+type slotList struct {
+	head, tail *Event
 }
 
 // Engine is a discrete-event scheduler with a virtual clock.
 // It is not safe for concurrent use; a simulation runs on one goroutine.
 type Engine struct {
 	now       time.Duration
-	queue     eventQueue
 	seq       uint64
 	rng       *rand.Rand
 	processed uint64
-	// free holds fired and discarded Event structs for reuse, keeping the
-	// steady state of Schedule/After allocation-free. Its length is bounded
-	// by the peak number of concurrently pending events.
+	// live is the number of scheduled (not yet fired, not canceled)
+	// events.
+	live int
+
+	// cursor is the scheduler's current tick: every live event's tick is
+	// >= cursor, and the wheel level an event lives on is determined by
+	// the highest block in which its tick and the cursor differ.
+	cursor   uint64
+	wheels   [numLevels][numSlots]slotList
+	occupied [numLevels][numSlots / 64]uint64 // per-level slot bitmaps
+	overflow []*Event                         // min-heap by (at, seq)
+
+	// free holds fired and canceled Event structs for reuse, keeping the
+	// steady state of Schedule/After/Cancel allocation-free. Its length is
+	// bounded by the peak number of concurrently pending events.
 	free []*Event
 }
 
@@ -126,9 +163,9 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events currently scheduled,
-// including canceled events that have not yet been discarded.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live events currently scheduled. Canceled
+// events are unlinked eagerly and never counted.
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule registers fn to run at virtual time at. Scheduling in the past
 // panics: it always indicates a protocol bug, and silently reordering
@@ -144,18 +181,17 @@ func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
 	if ev != nil {
 		ev.at, ev.seq, ev.fn, ev.canceled = at, e.seq, fn, false
 	} else {
-		ev = &Event{at: at, seq: e.seq, fn: fn}
+		ev = &Event{at: at, seq: e.seq, fn: fn, eng: e, heapIdx: -1}
 	}
 	e.seq++
-	e.queue.push(ev)
+	if e.live == 0 {
+		// Empty scheduler: snap the cursor to the present so the event
+		// lands on the finest wheel its delay allows.
+		e.cursor = uint64(e.now) >> tickShift
+	}
+	e.live++
+	e.insert(ev)
 	return ev
-}
-
-// release returns a popped event to the freelist. The callback reference
-// is dropped so captured state is not kept alive by the pool.
-func (e *Engine) release(ev *Event) {
-	ev.fn = nil
-	e.free = append(e.free, ev)
 }
 
 // After registers fn to run d from now. Negative d panics.
@@ -163,24 +199,205 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
-// Step executes the next pending event, if any, advancing the clock to its
-// timestamp. It reports whether an event was executed. Canceled events are
-// discarded without executing and without counting as a step.
-func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := e.queue.pop()
-		if ev.canceled {
-			e.release(ev)
+// release returns a detached event to the freelist. The callback
+// reference is dropped so captured state is not kept alive by the pool.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// insert places a live event on the wheel level (or the overflow heap)
+// implied by its tick's distance from the cursor.
+func (e *Engine) insert(ev *Event) {
+	t := uint64(ev.at) >> tickShift
+	c := e.cursor
+	var level uint
+	switch {
+	case t>>slotBits == c>>slotBits:
+		level = 0
+	case t>>(2*slotBits) == c>>(2*slotBits):
+		level = 1
+	case t>>(3*slotBits) == c>>(3*slotBits):
+		level = 2
+	case t>>(4*slotBits) == c>>(4*slotBits):
+		level = 3
+	default:
+		e.heapPush(ev)
+		return
+	}
+	idx := int(t>>(level*slotBits)) & slotMask
+	ev.level, ev.slot, ev.where = uint8(level), uint8(idx), locWheel
+	s := &e.wheels[level][idx]
+	// Sorted insert, scanning from the tail: a newly scheduled event has
+	// the largest seq, so it lands at the tail unless an earlier-at event
+	// was inserted after later-at ones (possible across cascades).
+	cur := s.tail
+	for cur != nil && evLess(ev, cur) {
+		cur = cur.prev
+	}
+	if cur == nil {
+		ev.prev, ev.next = nil, s.head
+		if s.head != nil {
+			s.head.prev = ev
+		} else {
+			s.tail = ev
+		}
+		s.head = ev
+	} else {
+		ev.prev, ev.next = cur, cur.next
+		cur.next = ev
+		if ev.next != nil {
+			ev.next.prev = ev
+		} else {
+			s.tail = ev
+		}
+	}
+	e.occupied[level][idx>>6] |= 1 << (uint(idx) & 63)
+}
+
+// detach unlinks a live event from its wheel slot or the overflow heap.
+func (e *Engine) detach(ev *Event) {
+	if ev.where == locHeap {
+		e.heapRemove(int(ev.heapIdx))
+		ev.where = locNone
+		return
+	}
+	s := &e.wheels[ev.level][ev.slot]
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		s.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		s.tail = ev.prev
+	}
+	ev.next, ev.prev = nil, nil
+	if s.head == nil {
+		e.occupied[ev.level][ev.slot>>6] &^= 1 << (uint(ev.slot) & 63)
+	}
+	ev.where = locNone
+}
+
+// firstSlot returns the index of the level's earliest occupied slot, or
+// -1. Slots the cursor has passed are always empty, so the first set bit
+// is the earliest future slot.
+func (e *Engine) firstSlot(level int) int {
+	for w := 0; w < numSlots/64; w++ {
+		if word := e.occupied[level][w]; word != 0 {
+			return w*64 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
+// drainOverflow moves overflow events that now fall inside the wheels'
+// horizon onto the wheels. The cursor only advances, so each overflow
+// event is drained at most once.
+func (e *Engine) drainOverflow() {
+	horizon := ((e.cursor >> horizonBits) + 1) << horizonBits
+	for len(e.overflow) > 0 {
+		min := e.overflow[0]
+		if uint64(min.at)>>tickShift >= horizon {
+			return
+		}
+		e.heapRemove(0)
+		min.where = locNone
+		e.insert(min)
+	}
+}
+
+// next returns the earliest live event without detaching it, advancing
+// the cursor (cascading coarse slots onto finer wheels, pulling overflow
+// events into the wheels) as needed. It returns nil when nothing is
+// scheduled.
+func (e *Engine) next() *Event {
+	return e.nextWithin(^uint64(0))
+}
+
+// nextWithin is next bounded by a tick limit: the cursor never advances
+// past limit, and nil is returned when the earliest event's tick is
+// beyond it. The bound matters for Run's deadline peek: events may later
+// be scheduled at any instant >= now, and insert assumes their ticks are
+// >= cursor, so peeking past a deadline must not drag the cursor beyond
+// the region future schedules can still target. An event with tick <=
+// limit always lives in a slot whose span starts at or before its tick,
+// so the bound never hides an in-limit event. Cascading only relocates
+// events, so a peek that stops at the limit is harmless.
+func (e *Engine) nextWithin(limit uint64) *Event {
+	for {
+		e.drainOverflow()
+		if idx := e.firstSlot(0); idx >= 0 {
+			return e.wheels[0][idx].head
+		}
+		cascaded := false
+		for level := 1; level < numLevels; level++ {
+			idx := e.firstSlot(level)
+			if idx < 0 {
+				continue
+			}
+			// Advance the cursor to the start of that slot's span and
+			// redistribute its events; each lands on a finer level, so
+			// this terminates.
+			shift := uint(level) * slotBits
+			cur := (e.cursor>>(shift+slotBits))<<(shift+slotBits) | uint64(idx)<<shift
+			if cur > limit {
+				return nil // every remaining event fires after the limit
+			}
+			e.cursor = cur
+			s := &e.wheels[level][idx]
+			ev := s.head
+			s.head, s.tail = nil, nil
+			e.occupied[level][idx>>6] &^= 1 << (uint(idx) & 63)
+			for ev != nil {
+				nxt := ev.next
+				ev.next, ev.prev = nil, nil
+				ev.where = locNone
+				e.insert(ev)
+				ev = nxt
+			}
+			cascaded = true
+			break
+		}
+		if cascaded {
 			continue
 		}
-		e.now = ev.at
-		e.processed++
-		fn := ev.fn
-		e.release(ev)
-		fn()
-		return true
+		if len(e.overflow) > 0 {
+			// Everything lives beyond the horizon: jump the cursor to the
+			// overflow minimum's top-level block and drain.
+			cur := (uint64(e.overflow[0].at) >> tickShift >> horizonBits) << horizonBits
+			if cur > limit {
+				return nil
+			}
+			e.cursor = cur
+			continue
+		}
+		return nil
 	}
-	return false
+}
+
+// fire detaches ev, advances the clock to it, and executes its callback.
+func (e *Engine) fire(ev *Event) {
+	e.detach(ev)
+	e.now = ev.at
+	e.cursor = uint64(ev.at) >> tickShift
+	e.processed++
+	e.live--
+	fn := ev.fn
+	e.release(ev)
+	fn()
+}
+
+// Step executes the next pending event, if any, advancing the clock to
+// its timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	ev := e.next()
+	if ev == nil {
+		return false
+	}
+	e.fire(ev)
+	return true
 }
 
 // Run executes events until the queue is empty or the next event is
@@ -188,24 +405,20 @@ func (e *Engine) Step() bool {
 // time if that is later, which cannot happen by construction). Run returns
 // the number of events executed.
 func (e *Engine) Run(until time.Duration) uint64 {
+	if until < e.now {
+		return 0
+	}
 	start := e.processed
-	for len(e.queue) > 0 {
-		// Peek without popping so a too-late event stays queued.
-		next := e.queue[0]
-		if next.canceled {
-			e.queue.pop()
-			e.release(next)
-			continue
-		}
-		if next.at > until {
+	limit := uint64(until) >> tickShift
+	for {
+		// Peek without detaching — and without letting the deadline peek
+		// advance the cursor past until — so a too-late event stays
+		// queued where later, nearer schedules can still be placed.
+		ev := e.nextWithin(limit)
+		if ev == nil || ev.at > until {
 			break
 		}
-		e.queue.pop()
-		e.now = next.at
-		e.processed++
-		fn := next.fn
-		e.release(next)
-		fn()
+		e.fire(ev)
 	}
 	if e.now < until {
 		e.now = until
@@ -220,4 +433,70 @@ func (e *Engine) RunAll() uint64 {
 	for e.Step() {
 	}
 	return e.processed - start
+}
+
+// --- overflow heap ---------------------------------------------------------
+
+// evLess orders events by (at, seq): earlier time first, FIFO at ties.
+func evLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev *Event) {
+	ev.where = locHeap
+	ev.heapIdx = int32(len(e.overflow))
+	e.overflow = append(e.overflow, ev)
+	e.heapUp(int(ev.heapIdx))
+}
+
+// heapRemove deletes the event at index i, keeping heap order and the
+// events' heapIdx fields consistent.
+func (e *Engine) heapRemove(i int) {
+	h := e.overflow
+	n := len(h) - 1
+	h[i] = h[n]
+	h[i].heapIdx = int32(i)
+	h[n] = nil
+	e.overflow = h[:n]
+	if i < n {
+		e.heapDown(i)
+		e.heapUp(i)
+	}
+}
+
+func (e *Engine) heapUp(i int) {
+	h := e.overflow
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].heapIdx, h[parent].heapIdx = int32(i), int32(parent)
+		i = parent
+	}
+}
+
+func (e *Engine) heapDown(i int) {
+	h := e.overflow
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && evLess(h[right], h[left]) {
+			min = right
+		}
+		if !evLess(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		h[i].heapIdx, h[min].heapIdx = int32(i), int32(min)
+		i = min
+	}
 }

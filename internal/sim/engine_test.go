@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -424,4 +425,345 @@ func BenchmarkTimerWheelChurn(b *testing.B) {
 	}
 	e.Schedule(0, tick)
 	e.RunAll()
+}
+
+// TestPendingCountsLiveEventsOnly is the regression test for Pending():
+// it must report live events, not raw queue length — canceled events are
+// unlinked eagerly and never counted.
+func TestPendingCountsLiveEventsOnly(t *testing.T) {
+	e := New(1)
+	evs := make([]*Event, 5)
+	for i := range evs {
+		evs[i] = e.Schedule(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	if got := e.Pending(); got != 5 {
+		t.Fatalf("Pending() = %d, want 5", got)
+	}
+	evs[1].Cancel()
+	evs[3].Cancel()
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d after 2 cancels, want 3", got)
+	}
+	e.Step()
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d after a fire, want 2", got)
+	}
+	// A far-future (overflow-heap) event counts too, and uncounts on cancel.
+	far := e.Schedule(5*time.Hour, func() {})
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d with overflow event, want 3", got)
+	}
+	far.Cancel()
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d after overflow cancel, want 2", got)
+	}
+	e.RunAll()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", got)
+	}
+}
+
+// TestCancelThenFireSameTick cancels one of several events sharing a
+// scheduler tick (sub-tick at differences) and checks the survivors fire
+// in exact (at, seq) order.
+func TestCancelThenFireSameTick(t *testing.T) {
+	e := New(1)
+	var fired []int
+	// All three land in the same 1024ns tick but differ in at.
+	a := e.Schedule(900*time.Nanosecond, func() { fired = append(fired, 0) })
+	e.Schedule(200*time.Nanosecond, func() { fired = append(fired, 1) })
+	e.Schedule(500*time.Nanosecond, func() { fired = append(fired, 2) })
+	_ = a
+	a.Cancel()
+	e.RunAll()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("fired = %v, want [1 2] (sub-tick order with mid-slot cancel)", fired)
+	}
+	if e.Now() != 500*time.Nanosecond {
+		t.Fatalf("Now() = %v, want 500ns", e.Now())
+	}
+}
+
+// TestRescheduleAcrossWheelLevels moves one event between delays that
+// live on different wheel levels (and the overflow heap) and checks it
+// fires exactly once, at the final time.
+func TestRescheduleAcrossWheelLevels(t *testing.T) {
+	e := New(1)
+	var firedAt []time.Duration
+	ev := e.Schedule(50*time.Microsecond, func() { firedAt = append(firedAt, e.Now()) }) // level 0
+	ev.RescheduleTo(10 * time.Millisecond)                                               // level 1
+	ev.RescheduleTo(5 * time.Second)                                                     // level 2
+	ev.RescheduleTo(3 * time.Hour)                                                       // overflow heap
+	ev.RescheduleTo(30 * time.Minute)                                                    // back onto the wheels
+	if ev.At() != 30*time.Minute {
+		t.Fatalf("At() = %v after reschedules, want 30m", ev.At())
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d, want 1 (reschedule must not duplicate)", got)
+	}
+	e.RunAll()
+	if len(firedAt) != 1 || firedAt[0] != 30*time.Minute {
+		t.Fatalf("firedAt = %v, want exactly [30m]", firedAt)
+	}
+}
+
+// TestRescheduleOrdersAsNewest checks RescheduleTo is equivalent to
+// cancel+schedule for FIFO tie-breaks: a rescheduled event fires after
+// events already scheduled at its new instant.
+func TestRescheduleOrdersAsNewest(t *testing.T) {
+	e := New(1)
+	var fired []string
+	a := e.Schedule(time.Second, func() { fired = append(fired, "a") })
+	e.Schedule(time.Second, func() { fired = append(fired, "b") })
+	a.RescheduleTo(time.Second) // same instant, but now the newest
+	e.RunAll()
+	if len(fired) != 2 || fired[0] != "b" || fired[1] != "a" {
+		t.Fatalf("fired = %v, want [b a]", fired)
+	}
+}
+
+// TestRescheduleUnscheduledPanics documents that RescheduleTo is only
+// valid on a pending event.
+func TestRescheduleUnscheduledPanics(t *testing.T) {
+	e := New(1)
+	ev := e.Schedule(time.Millisecond, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Error("RescheduleTo on a fired event did not panic")
+		}
+	}()
+	ev.RescheduleTo(time.Second)
+}
+
+// TestZeroDelaySelfReschedule chains After(0, ...) callbacks: each must
+// fire at the same instant, in scheduling order, without livelocking the
+// current tick's slot.
+func TestZeroDelaySelfReschedule(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Millisecond, func() {}) // move now off zero first
+	e.RunAll()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 500 {
+			e.After(0, tick)
+		}
+	}
+	e.After(0, tick)
+	e.RunAll()
+	if count != 500 {
+		t.Fatalf("count = %d, want 500", count)
+	}
+	if e.Now() != time.Millisecond {
+		t.Fatalf("Now() = %v, want 1ms (zero-delay chain must not advance time)", e.Now())
+	}
+}
+
+// TestOverflowHeapPromotion schedules events beyond the wheels' ~73 min
+// horizon and checks they are promoted onto the wheels and fired in
+// order, interleaved correctly with near events scheduled later.
+func TestOverflowHeapPromotion(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	record := func() { fired = append(fired, e.Now()) }
+	times := []time.Duration{
+		90 * time.Minute, // beyond horizon at schedule time
+		2 * time.Hour,
+		100 * time.Minute,
+		time.Second, // near
+	}
+	for _, at := range times {
+		at := at
+		e.Schedule(at, record)
+	}
+	// An event scheduled from a callback close to a promoted one must
+	// still order correctly.
+	e.Schedule(89*time.Minute, func() {
+		e.After(time.Minute+time.Millisecond, record) // 90min+1ms
+	})
+	e.RunAll()
+	want := []time.Duration{
+		time.Second,
+		90 * time.Minute,
+		90*time.Minute + time.Millisecond,
+		100 * time.Minute,
+		2 * time.Hour,
+	}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired[%d] = %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+// TestCancelInOverflowHeap cancels events parked in the overflow heap,
+// including the heap minimum, and checks the survivors still fire.
+func TestCancelInOverflowHeap(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	record := func() { fired = append(fired, e.Now()) }
+	evs := make([]*Event, 6)
+	for i := range evs {
+		evs[i] = e.Schedule(time.Duration(i+2)*time.Hour, record)
+	}
+	evs[0].Cancel() // heap minimum
+	evs[3].Cancel() // interior
+	evs[5].Cancel() // last
+	e.RunAll()
+	want := []time.Duration{3 * time.Hour, 4 * time.Hour, 6 * time.Hour}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired[%d] = %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+// TestWheelStress drives a randomized schedule/cancel mix with delays
+// spanning every wheel level and the overflow heap, and checks execution
+// order against a sorted (at, seq) reference.
+func TestWheelStress(t *testing.T) {
+	g := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New(seed)
+		type item struct {
+			ev       *Event
+			at       time.Duration
+			seq      int
+			canceled bool
+		}
+		var items []*item
+		var fired []int
+		seq := 0
+		for i := 0; i < 200; i++ {
+			if rng.Intn(10) < 7 || len(items) == 0 {
+				mag := time.Duration(1) << uint(rng.Intn(42))
+				at := e.Now() + time.Duration(rng.Int63n(int64(mag))) + 1
+				it := &item{at: at, seq: seq}
+				seq++
+				it.ev = e.Schedule(at, func() { fired = append(fired, it.seq) })
+				items = append(items, it)
+			} else {
+				live := make([]*item, 0, len(items))
+				for _, it := range items {
+					if !it.canceled {
+						live = append(live, it)
+					}
+				}
+				if len(live) == 0 {
+					continue
+				}
+				it := live[rng.Intn(len(live))]
+				it.ev.Cancel()
+				it.canceled = true
+			}
+		}
+		e.RunAll()
+		// Expected: live items sorted by (at, seq).
+		var want []*item
+		for _, it := range items {
+			if !it.canceled {
+				want = append(want, it)
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].at != want[b].at {
+				return want[a].at < want[b].at
+			}
+			return want[a].seq < want[b].seq
+		})
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkCancelHeavyChurn measures the MAC-exchange shape: timers that
+// are armed and then canceled or moved before firing (NAV, ACK waits,
+// frozen backoffs). The wheel makes cancel O(1) with no tombstones to
+// drag through later pops.
+func BenchmarkCancelHeavyChurn(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Arm four exchange timers, move one, cancel three — only the
+		// last survives to fire, as in a typical CSMA/CA exchange.
+		difs := e.After(50*time.Microsecond, fn)
+		backoff := e.After(300*time.Microsecond, fn)
+		nav := e.After(500*time.Microsecond, fn)
+		ack := e.After(700*time.Microsecond, fn)
+		nav.RescheduleTo(e.Now() + 900*time.Microsecond)
+		difs.Cancel()
+		backoff.Cancel()
+		nav.Cancel()
+		_ = ack
+		e.Step() // fire the ACK timeout
+	}
+}
+
+// TestScheduleNearAfterDeadlinePeek is the regression test for the
+// cursor-overrun bug: Run's deadline peek of a far-future event must not
+// advance the wheel cursor past `until`, or a later Schedule of a nearer
+// event lands below the cursor — mis-leveled at best (events fire out of
+// order), livelocked in the overflow drain at worst.
+func TestScheduleNearAfterDeadlinePeek(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	record := func() { fired = append(fired, e.Now()) }
+
+	// A far event (beyond the wheel horizon) forces the peek to consider
+	// jumping the cursor to its block.
+	e.Schedule(100*time.Minute, record)
+	if n := e.Run(time.Millisecond); n != 0 {
+		t.Fatalf("Run fired %d events before the deadline, want 0", n)
+	}
+	// Schedule nearer events after the bounded peek; they must fire
+	// first, in time order.
+	e.Schedule(2*time.Millisecond, record)
+	e.Schedule(90*time.Minute, record)
+	done := make(chan uint64, 1)
+	go func() { done <- e.RunAll() }()
+	select {
+	case n := <-done:
+		if n != 3 {
+			t.Fatalf("RunAll fired %d events, want 3", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunAll livelocked (cursor advanced past now by the deadline peek)")
+	}
+	want := []time.Duration{2 * time.Millisecond, 90 * time.Minute, 100 * time.Minute}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired[%d] = %v, want %v (order violated)", i, fired[i], want[i])
+		}
+	}
+	// Repeated bounded Runs interleaved with schedules stay consistent.
+	e.Schedule(e.Now()+time.Hour, record)
+	e.Run(e.Now() + time.Minute)
+	e.Schedule(e.Now()+time.Second, record)
+	e.RunAll()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+	if fired[3] >= fired[4] {
+		t.Fatalf("interleaved deadline runs fired out of order: %v", fired[3:])
+	}
 }

@@ -7,7 +7,9 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"github.com/essat/essat/internal/geom"
 )
@@ -60,6 +62,13 @@ func NewRandom(rng *rand.Rand, cfg Config) (*Topology, error) {
 
 // FromPositions builds a topology from explicit positions, computing the
 // neighbor lists for the given communication range.
+//
+// The build uses a spatial hash: nodes are bucketed into a grid of
+// range-sized cells and each node is compared only against nodes in its
+// 3×3 cell neighborhood, so construction is O(N·degree) — linear in N
+// for uniform densities — instead of the O(N²) all-pairs scan. Neighbor
+// lists come out in ascending NodeID order, identical to the all-pairs
+// build, so run results do not depend on the construction algorithm.
 func FromPositions(pts []geom.Point, rangeM float64) (*Topology, error) {
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("topology: no positions")
@@ -70,17 +79,69 @@ func FromPositions(pts []geom.Point, rangeM float64) (*Topology, error) {
 	t := &Topology{
 		positions: append([]geom.Point(nil), pts...),
 		rangeM:    rangeM,
-		neighbors: make([][]NodeID, len(pts)),
-	}
-	for i := range pts {
-		for j := i + 1; j < len(pts); j++ {
-			if pts[i].InRange(pts[j], rangeM) {
-				t.neighbors[i] = append(t.neighbors[i], NodeID(j))
-				t.neighbors[j] = append(t.neighbors[j], NodeID(i))
-			}
-		}
+		neighbors: buildNeighbors(pts, rangeM),
 	}
 	return t, nil
+}
+
+// buildNeighbors computes the unit-disc adjacency lists with a grid-
+// bucket spatial hash. Each list is sorted ascending by NodeID.
+func buildNeighbors(pts []geom.Point, rangeM float64) [][]NodeID {
+	neighbors := make([][]NodeID, len(pts))
+
+	minX, minY := pts[0].X, pts[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range pts[1:] {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	// Cell side of (at least) one communication range keeps the candidate
+	// scan to the 3×3 neighborhood; widen the cells when the deployment is
+	// so sparse relative to the range that the grid would dwarf the node
+	// count (cells only grow, so the 3×3 ring always covers the range).
+	cell := rangeM
+	for int((maxX-minX)/cell)*int((maxY-minY)/cell) > 4*len(pts)+64 {
+		cell *= 2
+	}
+	const ring = 1
+	nx := int((maxX-minX)/cell) + 1
+	ny := int((maxY-minY)/cell) + 1
+
+	cellOf := func(p geom.Point) (int, int) {
+		return int((p.X - minX) / cell), int((p.Y - minY) / cell)
+	}
+	buckets := make([][]NodeID, nx*ny)
+	for i, p := range pts {
+		cx, cy := cellOf(p)
+		buckets[cy*nx+cx] = append(buckets[cy*nx+cx], NodeID(i))
+	}
+
+	for i, p := range pts {
+		cx, cy := cellOf(p)
+		out := neighbors[i]
+		for dy := -ring; dy <= ring; dy++ {
+			y := cy + dy
+			if y < 0 || y >= ny {
+				continue
+			}
+			for dx := -ring; dx <= ring; dx++ {
+				x := cx + dx
+				if x < 0 || x >= nx {
+					continue
+				}
+				for _, j := range buckets[y*nx+x] {
+					if j != NodeID(i) && p.InRange(pts[j], rangeM) {
+						out = append(out, j)
+					}
+				}
+			}
+		}
+		// Bucket traversal visits candidates in cell order; restore the
+		// ascending-ID order the all-pairs build produced.
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		neighbors[i] = out
+	}
+	return neighbors
 }
 
 // NumNodes returns the number of nodes in the deployment.

@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -163,5 +165,85 @@ func TestPositionsReturnsCopy(t *testing.T) {
 	ps[0] = geom.Point{X: 999}
 	if topo.Position(0).X == 999 {
 		t.Error("Positions() exposed internal storage")
+	}
+}
+
+// naiveNeighbors is the reference O(N²) all-pairs adjacency build the
+// spatial hash replaced; the hash must reproduce it exactly.
+func naiveNeighbors(pts []geom.Point, rangeM float64) [][]NodeID {
+	neighbors := make([][]NodeID, len(pts))
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].InRange(pts[j], rangeM) {
+				neighbors[i] = append(neighbors[i], NodeID(j))
+				neighbors[j] = append(neighbors[j], NodeID(i))
+			}
+		}
+	}
+	return neighbors
+}
+
+// TestSpatialHashMatchesAllPairs checks, over random deployments of
+// varied density (including degenerate ones: range larger than the area,
+// range much smaller than the area, coincident points), that the
+// grid-bucket build produces neighbor lists identical — order included —
+// to the all-pairs scan.
+func TestSpatialHashMatchesAllPairs(t *testing.T) {
+	cases := []struct {
+		n    int
+		side float64
+		rng  float64
+	}{
+		{1, 100, 50},
+		{2, 100, 200},    // range covers everything
+		{30, 300, 100},   // paper-like density
+		{200, 500, 125},  // dense
+		{100, 10000, 30}, // sparse: grid would dwarf N, cells widen
+		{50, 100, 1e6},   // absurd range: single cell
+	}
+	for _, tc := range cases {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			pts := geom.UniformPlacement(rng, tc.n, tc.side)
+			if tc.n > 3 {
+				pts[1] = pts[0] // coincident pair
+			}
+			got := buildNeighbors(pts, tc.rng)
+			want := naiveNeighbors(pts, tc.rng)
+			for i := range pts {
+				g, w := got[i], want[i]
+				if len(g) != len(w) {
+					t.Fatalf("n=%d side=%g range=%g seed=%d: node %d has %d neighbors, want %d",
+						tc.n, tc.side, tc.rng, seed, i, len(g), len(w))
+				}
+				for k := range g {
+					if g[k] != w[k] {
+						t.Fatalf("n=%d side=%g range=%g seed=%d: node %d neighbors %v, want %v",
+							tc.n, tc.side, tc.rng, seed, i, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkNeighborBuild measures topology construction at the large
+// scenario tier's scale. With the spatial hash this grows linearly in N
+// at fixed density (the naive all-pairs build was quadratic).
+func BenchmarkNeighborBuild(b *testing.B) {
+	for _, n := range []int{80, 1000, 4000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			// Fixed density: scale the area with N, keep 125 m range.
+			side := 500 * math.Sqrt(float64(n)/80)
+			rng := rand.New(rand.NewSource(1))
+			pts := geom.UniformPlacement(rng, n, side)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := FromPositions(pts, 125); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
