@@ -89,6 +89,7 @@ func main() {
 		scale    = flag.String("scale", "", "also run this scenario spec once (e.g. testdata/large.json) and record a 'scale' section in the report")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+		audit    = flag.Bool("audit", false, "run every scenario under the cross-layer invariant auditor (results unchanged; violations abort)")
 	)
 	ablations := flag.Bool("ablations", false, "also run the DESIGN.md ablation and robustness studies")
 	flag.Var(&figs, "fig", "figure to regenerate (2-9 or 'overhead'); repeatable, default all")
@@ -106,6 +107,7 @@ func main() {
 	}
 	o.Parallelism = *parallel
 	o.Topology = *topo
+	o.Audit = *audit
 
 	if len(figs) == 0 {
 		figs = figList{"2", "3", "4", "5", "6", "7", "8", "9", "overhead"}

@@ -11,6 +11,8 @@
 //	essat-sim -protocol STS-SS -deadline 120ms -seeds 5
 //	essat-sim -protocol DTS-SS -loss 0.1 -failures 2
 //	essat-sim -topology corridor -protocol DTS-SS
+//	essat-sim -protocol DTS-SS -churn 3 -burst 20s -audit
+//	essat-sim -scenario testdata/dynamics_crash.json -audit
 //	essat-sim -scenario testdata/example.json
 //	essat-sim -list
 package main
@@ -48,6 +50,9 @@ func main() {
 		dissem   = flag.Duration("dissem", 0, "add a downstream command flow with this period (0 = none)")
 		peers    = flag.Int("peers", 0, "add N random peer-to-peer flows at 1 Hz")
 		battery  = flag.Float64("battery", 0, "per-node battery budget in joules (0 = unlimited)")
+		churn    = flag.Int("churn", 0, "crash N random nodes mid-run, each recovering after a quarter of the run (dynamics layer)")
+		burst    = flag.Duration("burst", 0, "inject a traffic burst of this length at mid-run, reports every 250ms (dynamics layer)")
+		audit    = flag.Bool("audit", false, "run the cross-layer invariant auditor and print the trace digest")
 	)
 	flag.Parse()
 
@@ -73,7 +78,8 @@ func main() {
 		}
 	}
 	spec := specFromFlags(*protocol, *topo, *rate, *perClass, *nodes, *area,
-		*duration, *deadline, *tbe, *loss, *failures, *bfs, *traceN, *dissem, *peers, *battery)
+		*duration, *deadline, *tbe, *loss, *failures, *bfs, *traceN, *dissem, *peers, *battery,
+		*churn, *burst)
 	if *scenario != "" {
 		loaded, err := essat.LoadSpec(*scenario)
 		if err != nil {
@@ -93,9 +99,12 @@ func main() {
 		})
 		spec = loaded
 	}
+	if *audit {
+		spec.Audit = true
+	}
 
 	var duty, lat stats.Welford
-	var last *essat.Result
+	var last, firstViolating *essat.Result
 	for seed := int64(1); seed <= int64(*seeds); seed++ {
 		run := *spec
 		if *seeds > 1 || run.Seed == 0 {
@@ -107,10 +116,26 @@ func main() {
 		}
 		duty.Add(res.DutyCycle * 100)
 		lat.Add(res.Latency.Mean.Seconds())
+		if res.Audit != nil && res.Audit.Total > 0 && firstViolating == nil {
+			firstViolating = res
+		}
 		last = res
 	}
 
 	printResult(spec, last, duty, lat, *verbose)
+	// A violation in ANY seed fails the run, not just one in the last
+	// seed whose summary printResult showed.
+	if firstViolating != nil {
+		if firstViolating != last {
+			a := firstViolating.Audit
+			fmt.Fprintf(os.Stderr, "essat-sim: seed %d: %d invariant violations (digest %s):\n",
+				firstViolating.Seed, a.Total, a.Digest)
+			for _, v := range a.Violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+		}
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {
@@ -122,7 +147,8 @@ func fatal(err error) {
 // declarative spec the -scenario path uses, so both run identically.
 func specFromFlags(protocol, topo string, rate float64, perClass, nodes int, area float64,
 	duration, deadline, tbe time.Duration, loss float64, failures int, bfs bool,
-	traceN int, dissem time.Duration, peers int, battery float64) *essat.Spec {
+	traceN int, dissem time.Duration, peers int, battery float64,
+	churn int, burst time.Duration) *essat.Spec {
 
 	spec := &essat.Spec{
 		Protocol:      protocol,
@@ -159,6 +185,22 @@ func specFromFlags(protocol, topo string, rate float64, perClass, nodes int, are
 			ID: int64(-(i + 2)), Period: essat.Dur(time.Second), Phase: essat.Dur(5 * time.Second),
 		})
 	}
+	if churn > 0 {
+		spec.Dynamics = append(spec.Dynamics, essat.DynamicsSpec{
+			Kind:     "crash",
+			At:       essat.Dur(duration / 4),
+			Duration: essat.Dur(duration / 4),
+			Count:    churn,
+		})
+	}
+	if burst > 0 {
+		spec.Dynamics = append(spec.Dynamics, essat.DynamicsSpec{
+			Kind:     "burst",
+			At:       essat.Dur(duration / 2),
+			Duration: essat.Dur(burst),
+			Period:   essat.Dur(250 * time.Millisecond),
+		})
+	}
 	return spec
 }
 
@@ -170,6 +212,10 @@ func printRegistries() {
 	fmt.Println("\ntopology generators:")
 	for _, g := range essat.TopologyGenerators() {
 		fmt.Printf("  %s\n", g)
+	}
+	fmt.Println("\ndynamics injectors (spec \"dynamics\" block; -churn/-burst shortcuts):")
+	for _, k := range essat.DynamicsKinds() {
+		fmt.Printf("  %s\n", k)
 	}
 	fmt.Println("\nfigures (essat-bench -fig):")
 	for _, f := range essat.FigureCatalog() {
@@ -206,6 +252,17 @@ func printResult(spec *essat.Spec, last *essat.Result, duty, lat stats.Welford, 
 	}
 	fmt.Printf("traffic        %d MAC frames sent, %d failed, %d retries, %d timeouts, %d pass-throughs\n",
 		last.MACSent, last.MACFailed, last.MACRetries, last.Timeouts, last.PassThroughs)
+	if a := last.Audit; a != nil {
+		if a.Total == 0 {
+			fmt.Printf("audit          clean: %d events, trace digest %s\n", a.Events, a.Digest)
+		} else {
+			fmt.Printf("audit          %d INVARIANT VIOLATIONS over %d events (digest %s):\n",
+				a.Total, a.Events, a.Digest)
+			for _, v := range a.Violations {
+				fmt.Printf("  %s\n", v)
+			}
+		}
+	}
 
 	if verbose {
 		fmt.Println("\nduty cycle by rank (last seed):")

@@ -53,7 +53,9 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/essat/essat/internal/check"
 	"github.com/essat/essat/internal/core"
+	"github.com/essat/essat/internal/dynamics"
 	"github.com/essat/essat/internal/experiment"
 	"github.com/essat/essat/internal/protocol"
 	"github.com/essat/essat/internal/query"
@@ -128,6 +130,25 @@ type P2PSpec = core.P2PSpec
 // to Scenario.QueryStops.
 type QueryStop = experiment.QueryStop
 
+// Dynamic is one configured fault/load injector (node crash/recovery,
+// per-link loss ramp, traffic burst); assign it to Scenario.Dynamics.
+type Dynamic = experiment.Dynamic
+
+// DynamicsParams parameterizes a dynamics injector.
+type DynamicsParams = dynamics.Params
+
+// DynamicsKinds lists every registered fault/load injector kind
+// ("crash", "linkloss", "burst", ...) in presentation order.
+func DynamicsKinds() []string { return dynamics.Kinds() }
+
+// AuditSummary is the invariant auditor's report: the canonical trace
+// digest, the audited event count, and any invariant violations. It is
+// attached to Result.Audit when Scenario.Audit (or Spec.Audit) is set.
+type AuditSummary = check.Summary
+
+// AuditViolation is one observed invariant breach.
+type AuditViolation = check.Violation
+
 // Figure is a reproduced table/figure ready to print.
 type Figure = experiment.Figure
 
@@ -164,12 +185,14 @@ type Spec = experiment.Spec
 // Workload generates the paper's three-class workload from a Spec.
 type Workload = experiment.WorkloadSpec
 
-// FailureSpec, QueryStopSpec and FlowSpec are the Spec forms of
-// failures, query stops, and dissemination/peer flows.
+// FailureSpec, QueryStopSpec, FlowSpec and DynamicsSpec are the Spec
+// forms of failures, query stops, dissemination/peer flows, and
+// dynamics injectors.
 type (
 	FailureSpec   = experiment.FailureSpec
 	QueryStopSpec = experiment.QueryStopSpec
 	FlowSpec      = experiment.FlowSpec
+	DynamicsSpec  = experiment.DynamicsSpec
 )
 
 // Duration is the JSON-friendly duration used throughout Spec; it

@@ -1,0 +1,72 @@
+package essat_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke builds and runs every program under examples/, so
+// `go test ./...` catches example rot (API drift, scenario files they
+// depend on, panics mid-demo). Each example is a deterministic
+// simulation that must exit 0. Skipped under -short: the race-detector
+// CI job runs -short and the examples re-run every simulation.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+
+	bin := t.TempDir()
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			exe := filepath.Join(bin, dir)
+			build := exec.Command("go", "build", "-o", exe, "./examples/"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			cmd := exec.Command(exe)
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s hung", dir)
+			}
+			if runErr != nil {
+				t.Fatalf("run failed: %v\n%s", runErr, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", dir)
+			}
+		})
+	}
+}

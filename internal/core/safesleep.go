@@ -54,6 +54,17 @@ type recvKey struct {
 	c query.NodeID
 }
 
+// SleepObserver is notified of Safe Sleep decisions, synchronously.
+// Observers must be pure (no scheduling, no state changes, no random
+// draws) so an observed run stays byte-identical to an unobserved one.
+// The invariant auditor (internal/check) uses it to verify the
+// break-even rule: SS only sleeps through free periods longer than tBE.
+type SleepObserver interface {
+	// Slept fires when SS decides to turn the radio off: the free period
+	// is twakeup − now, which must exceed breakEven.
+	Slept(node query.NodeID, now, twakeup, breakEven time.Duration)
+}
+
 // SleepStats counts Safe Sleep decisions.
 type SleepStats struct {
 	// Sleeps is the number of times the radio was put to sleep.
@@ -117,6 +128,8 @@ type SafeSleep struct {
 	wakeEv *sim.Event
 	wakeAt time.Duration
 	wakeFn func() // prebound wake-up callback
+	obs    SleepObserver
+	obsID  query.NodeID
 	stats  SleepStats
 }
 
@@ -155,6 +168,12 @@ func NewSafeSleep(eng *sim.Engine, r *radio.Radio, opts SafeSleepOptions) *SafeS
 
 // Stats returns a copy of the scheduler's counters.
 func (ss *SafeSleep) Stats() SleepStats { return ss.stats }
+
+// SetObserver installs a sleep-decision observer reporting decisions as
+// node id (nil disables).
+func (ss *SafeSleep) SetObserver(id query.NodeID, o SleepObserver) {
+	ss.obsID, ss.obs = id, o
+}
 
 // Disabled reports whether the scheduler is a no-op.
 func (ss *SafeSleep) Disabled() bool { return ss.opts.Disabled }
@@ -322,6 +341,9 @@ func (ss *SafeSleep) CheckState() {
 		return
 	}
 	ss.stats.Sleeps++
+	if ss.obs != nil {
+		ss.obs.Slept(ss.obsID, now, twakeup, ss.opts.BreakEven)
+	}
 	ss.radio.TurnOff()
 	ss.scheduleWake(twakeup)
 }

@@ -30,6 +30,9 @@ type Options struct {
 	// the generator's knobs (see internal/topology).
 	Topology       string
 	TopologyParams map[string]float64
+	// Audit runs every scenario under the cross-layer invariant auditor
+	// (pure observation: results are unchanged).
+	Audit bool
 }
 
 // PaperOptions reproduces the paper's full experimental setting.
@@ -151,7 +154,10 @@ func runGrid(o Options, jobs []*runJob) error {
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
-			if j.res, j.err = Run(j.build()); j.err != nil {
+			if j.res, j.err = Run(j.build()); j.err == nil {
+				j.err = auditErr(j.res)
+			}
+			if j.err != nil {
 				return j.err
 			}
 		}
@@ -168,7 +174,9 @@ func runGrid(o Options, jobs []*runJob) error {
 				if i >= len(jobs) {
 					return
 				}
-				jobs[i].res, jobs[i].err = Run(jobs[i].build())
+				if jobs[i].res, jobs[i].err = Run(jobs[i].build()); jobs[i].err == nil {
+					jobs[i].err = auditErr(jobs[i].res)
+				}
 			}
 		}()
 	}
@@ -179,6 +187,17 @@ func runGrid(o Options, jobs []*runJob) error {
 		}
 	}
 	return nil
+}
+
+// auditErr surfaces invariant violations from an audited run as a hard
+// error: a figure regenerated from a rule-breaking simulation is not
+// data. Unaudited runs (Options.Audit off) always pass.
+func auditErr(res *Result) error {
+	if res.Audit == nil || res.Audit.Total == 0 {
+		return nil
+	}
+	return fmt.Errorf("experiment: %s seed %d: %d invariant violations, first: %s",
+		res.Protocol, res.Seed, res.Audit.Total, res.Audit.Violations[0])
 }
 
 // runMatrix runs build(i, seed) for every point index i and seed 1..Seeds
@@ -221,6 +240,7 @@ func (o Options) scenario(p Protocol, seed int64) Scenario {
 	sc.Topology.NumNodes = o.Nodes
 	sc.Topology.Generator = o.Topology
 	sc.Topology.Params = o.TopologyParams
+	sc.Audit = o.Audit
 	if sc.MeasureFrom >= sc.Duration {
 		sc.MeasureFrom = sc.Duration / 5
 	}

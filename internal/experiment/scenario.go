@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"github.com/essat/essat/internal/baseline"
+	"github.com/essat/essat/internal/check"
 	"github.com/essat/essat/internal/core"
+	"github.com/essat/essat/internal/dynamics"
 	"github.com/essat/essat/internal/mac"
 	"github.com/essat/essat/internal/node"
 	"github.com/essat/essat/internal/phy"
@@ -65,6 +67,14 @@ type Failure struct {
 	// Node selects the victim. Negative means "a random live non-root,
 	// non-leaf member", the interesting case for recovery.
 	Node node.NodeID
+}
+
+// Dynamic is one configured fault/load injector: a registered kind from
+// the internal/dynamics registry ("crash", "linkloss", "burst") plus
+// its parameters.
+type Dynamic struct {
+	Kind string
+	dynamics.Params
 }
 
 // Scenario fully describes one simulation run.
@@ -146,6 +156,16 @@ type Scenario struct {
 
 	// QueryStops deregister queries mid-run (workload adaptation).
 	QueryStops []QueryStop
+
+	// Dynamics lists fault/load injectors perturbing the run mid-flight:
+	// node crash/recovery schedules, per-link loss ramps, traffic bursts.
+	Dynamics []Dynamic
+
+	// Audit enables the cross-layer invariant auditor (internal/check):
+	// a pure observer validating physics and protocol rules every event
+	// and producing the canonical trace digest in Result.Audit. Same-seed
+	// runs are byte-identical with the auditor on or off.
+	Audit bool
 
 	// SyncCfg, PsmCfg and TmacCfg tune the baselines; zero values select
 	// defaults.
@@ -258,6 +278,10 @@ type Result struct {
 	FirstDeath    time.Duration
 	BatteryDeaths int
 
+	// Audit is the invariant auditor's report (trace digest, audited
+	// event count, violations); nil unless Scenario.Audit was set.
+	Audit *check.Summary
+
 	// EnergyMean and EnergyMax are per-node radio energy over the
 	// measurement window in joules, under a MICA2-class power profile.
 	// NetworkLifetime extrapolates the worst node's draw against a 20 kJ
@@ -295,6 +319,7 @@ type Sim struct {
 
 	sink      *stats.RootSink
 	tracer    *trace.Tracer
+	auditor   *check.Auditor
 	activeAt0 map[node.NodeID]time.Duration
 	energyAt0 map[node.NodeID]float64
 
@@ -362,6 +387,20 @@ func Build(sc Scenario) (*Sim, error) {
 		tracer = trace.New(sc.TraceCapacity, eng.Now)
 	}
 
+	// The invariant auditor observes every layer but never acts: with it
+	// enabled, the run stays byte-identical. All hooks installed here and
+	// in the per-node loop below are nil (and free) when auditing is off.
+	var auditor *check.Auditor
+	auditProfile := radio.Mica2Power()
+	if sc.Audit {
+		auditor = check.New(eng.Now)
+		eng.SetObserver(auditor)
+		ch.SetObserver(auditor)
+		for _, q := range sc.Queries {
+			auditor.RegisterQuery(q)
+		}
+	}
+
 	params := protocol.Params{
 		SSBreakEven:      sc.SSBreakEven,
 		DisableSafeSleep: sc.DisableSafeSleep,
@@ -383,6 +422,13 @@ func Build(sc Scenario) (*Sim, error) {
 		var s query.Sink
 		if id == root {
 			s = sink
+			if auditor != nil {
+				s = auditor.WrapSink(s)
+			}
+		}
+		if auditor != nil {
+			n.MAC.SetObserver(auditor)
+			auditor.WatchRadio(id, n.Radio, auditProfile)
 		}
 		if err := builder.Build(&protocol.BuildContext{
 			Eng:      eng,
@@ -419,12 +465,18 @@ func Build(sc Scenario) (*Sim, error) {
 			scheduleSetupSlot(eng, tree, nodes, spec, sc.SetupSlot)
 		}
 	}
+	// Stops sweep the build-time member list, not tree.Members() at stop
+	// time: a node the failure detector has (perhaps falsely) marked dead
+	// — or one the dynamics layer crashed — must still forget the query,
+	// or it resumes reporting it after recovery. Only permanently dead
+	// nodes (channel-disabled) are skipped.
+	stopMembers := append([]node.NodeID(nil), tree.Members()...)
 	for _, stop := range sc.QueryStops {
 		stop := stop
 		eng.Schedule(stop.At, func() {
-			for _, id := range tree.Members() {
-				if n := nodes[id]; !n.Killed() {
-					n.Agent.Deregister(stop.Query)
+			for _, id := range stopMembers {
+				if !ch.Disabled(id) {
+					nodes[id].Agent.Deregister(stop.Query)
 				}
 			}
 		})
@@ -474,6 +526,15 @@ func Build(sc Scenario) (*Sim, error) {
 			}
 		}
 	}
+	if auditor != nil {
+		// Safe Sleep schedulers exist only after the protocol builders ran.
+		for _, id := range tree.Members() {
+			if ss := nodes[id].SS; ss != nil {
+				ss.SetObserver(id, auditor)
+			}
+		}
+	}
+
 	// Start in member (ID) order: map iteration order would vary the seq
 	// tie-break of same-instant events and break run determinism.
 	for _, id := range tree.Members() {
@@ -491,11 +552,41 @@ func Build(sc Scenario) (*Sim, error) {
 		}
 		v := victim
 		eng.Schedule(f.At, func() {
-			if n, ok := nodes[v]; ok && !n.Killed() {
+			// Guard on permanent disablement, not Killed(): a node the
+			// dynamics layer has temporarily crashed still reads as killed,
+			// but a configured failure must make its death permanent (the
+			// channel refuses to Resume a Disabled station).
+			if n, ok := nodes[v]; ok && !ch.Disabled(v) {
 				n.Kill()
 				ch.Disable(v)
 			}
 		})
+	}
+
+	// Dynamics layer: build every configured injector from the registry
+	// and let it schedule its disturbances. Injector choices draw from
+	// private seed-derived streams, so this neither consumes the engine's
+	// rng nor perturbs anything before the first injected event fires.
+	if len(sc.Dynamics) > 0 {
+		h := &dynHost{
+			eng:     eng,
+			tree:    tree,
+			ch:      ch,
+			topo:    topo,
+			nodes:   nodes,
+			nodeIDs: append([]node.NodeID(nil), tree.Members()...),
+			auditor: auditor,
+			crashed: make(map[node.NodeID]bool),
+		}
+		for i, d := range sc.Dynamics {
+			inj, err := dynamics.Build(d.Kind, d.Params, sc.Seed, i)
+			if err != nil {
+				return nil, err
+			}
+			if err := inj.Schedule(h); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	sm := &Sim{
@@ -507,6 +598,7 @@ func Build(sc Scenario) (*Sim, error) {
 		Nodes:    nodes,
 		sink:     sink,
 		tracer:   tracer,
+		auditor:  auditor,
 	}
 
 	// Battery exhaustion: poll each node's consumption once per simulated
@@ -564,7 +656,88 @@ func (s *Sim) Collect() *Result {
 	if s.tracer != nil {
 		res.Trace = s.tracer.Events()
 	}
+	if s.auditor != nil {
+		res.Audit = s.auditor.Summary()
+	}
 	return res
+}
+
+// dynHost adapts the built simulation to the dynamics.Host surface.
+type dynHost struct {
+	eng   *sim.Engine
+	tree  *routing.Tree
+	ch    *phy.Channel
+	topo  *topology.Topology
+	nodes map[node.NodeID]*node.Node
+	// nodeIDs is the build-time member list in ID order — unlike
+	// tree.Members(), it keeps nodes the failure detector later marks
+	// dead, which RemoveQuery must still reach.
+	nodeIDs []node.NodeID
+	auditor *check.Auditor
+	// crashed tracks nodes this layer took down, so Recover never
+	// resurrects a node killed by other means (failure injection,
+	// battery exhaustion).
+	crashed map[node.NodeID]bool
+}
+
+var _ dynamics.Host = (*dynHost)(nil)
+
+func (h *dynHost) Eng() *sim.Engine                               { return h.eng }
+func (h *dynHost) Members() []topology.NodeID                     { return h.tree.Members() }
+func (h *dynHost) Root() topology.NodeID                          { return h.tree.Root() }
+func (h *dynHost) Neighbors(id topology.NodeID) []topology.NodeID { return h.topo.Neighbors(id) }
+
+func (h *dynHost) Crash(id topology.NodeID) {
+	n := h.nodes[id]
+	if n == nil || n.Killed() || id == h.tree.Root() {
+		return
+	}
+	n.Crash()
+	h.ch.Suspend(id)
+	h.crashed[id] = true
+}
+
+func (h *dynHost) Recover(id topology.NodeID) {
+	n := h.nodes[id]
+	if n == nil || !h.crashed[id] {
+		return
+	}
+	delete(h.crashed, id)
+	if h.ch.Disabled(id) {
+		// Permanently failed (failure injection, battery exhaustion)
+		// while it was down: the crash outage does not end in recovery.
+		return
+	}
+	h.ch.Resume(id)
+	n.Recover()
+}
+
+func (h *dynHost) SetLinkLoss(a, b topology.NodeID, p float64) {
+	h.ch.SetLinkLoss(a, b, p)
+}
+
+func (h *dynHost) AddQuery(spec query.Spec) error {
+	if h.auditor != nil {
+		h.auditor.RegisterQuery(spec)
+	}
+	for _, id := range h.nodeIDs {
+		n := h.nodes[id]
+		if n.Killed() {
+			continue // offline during setup: it misses the query
+		}
+		if err := n.Agent.Register(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *dynHost) RemoveQuery(id query.ID) {
+	// Deregister everywhere, crashed nodes included: a node recovering
+	// after the burst ended must not keep producing burst reports.
+	for _, nid := range h.nodeIDs {
+		h.nodes[nid].Agent.Deregister(id)
+	}
 }
 
 // scheduleSetupSlot arranges the paper's setup-slot behavior for one

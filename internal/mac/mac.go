@@ -76,6 +76,17 @@ func (c Config) validate() error {
 	return nil
 }
 
+// Observer is notified of MAC decisions, synchronously. Observers must
+// be pure (no scheduling, no state changes, no random draws) so that an
+// observed run stays byte-identical to an unobserved one. The invariant
+// auditor (internal/check) uses it to verify the NAV is respected.
+type Observer interface {
+	// DataTransmit fires when the station starts a data-frame
+	// transmission: now is the current time, navUntil the station's
+	// virtual-carrier-sense deadline (now >= navUntil on a correct run).
+	DataTransmit(id phy.NodeID, now, navUntil time.Duration)
+}
+
 // Upper receives payloads the MAC successfully reassembled for this node.
 type Upper interface {
 	// Deliver hands a received payload up the stack. Duplicate unicast
@@ -202,6 +213,7 @@ type MAC struct {
 	onAckInfo func(from phy.NodeID, info any)
 
 	onIdle func()
+	obs    Observer
 	stats  Stats
 }
 
@@ -310,6 +322,9 @@ func (m *MAC) AttachToAck(src phy.NodeID, info any) bool {
 	m.ackInfo[ackKey{src: src, seq: m.lastSeq[src]}] = info
 	return true
 }
+
+// SetObserver installs a MAC decision observer (nil disables).
+func (m *MAC) SetObserver(o Observer) { m.obs = o }
 
 // SetIdleFunc installs a callback invoked whenever the MAC drains: queue
 // empty, no transmission in flight, no acknowledgement owed. Safe Sleep
@@ -440,6 +455,9 @@ func (m *MAC) transmit() {
 	item := m.queue[0]
 	m.cur = item
 	m.inTx = true
+	if m.obs != nil {
+		m.obs.DataTransmit(m.id, m.eng.Now(), m.navUntil)
+	}
 	item.hdr = m.newHeader(kindData, item.seq, item.payload)
 	dur, _ := m.ch.StartTx(m.id, item.dst, item.bytes, item.hdr)
 	m.txEndEv = m.eng.After(dur, m.txEndFn)

@@ -163,8 +163,36 @@ func (n *Node) Kill() {
 	}
 }
 
-// Killed reports whether the node was killed.
+// Killed reports whether the node is currently dead (killed or crashed
+// and not yet recovered).
 func (n *Node) Killed() bool { return n.killed }
+
+// Crash silences the node like Kill, but recoverably: Recover undoes it.
+// The caller is responsible for suspending the node on the channel
+// (phy.Channel.Suspend), which also takes the radio hardware down.
+func (n *Node) Crash() {
+	n.killed = true
+	if n.Agent != nil {
+		n.Agent.Stop()
+	}
+	n.tracer.Recordf(n.id, trace.NodeFailed, "crashed")
+}
+
+// Recover brings a crashed node back: the stack accepts traffic again,
+// the radio is woken, and the agent restarts its query intervals at the
+// next boundary. The caller must have resumed the node on the channel
+// (phy.Channel.Resume) first, or the wake-up is ignored.
+func (n *Node) Recover() {
+	if !n.killed {
+		return
+	}
+	n.killed = false
+	n.Radio.TurnOn()
+	if n.Agent != nil {
+		n.Agent.Resume()
+	}
+	n.tracer.Recordf(n.id, trace.Recovered, "recovered")
+}
 
 func (n *Node) sendReport(dst NodeID, payload any, bytes int, cb func(ok bool)) {
 	if n.killed {

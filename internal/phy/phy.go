@@ -65,6 +65,22 @@ type Receiver interface {
 	CarrierChanged(busy bool)
 }
 
+// Observer is notified of channel activity, synchronously and in event
+// order. Observers must be pure — no scheduling, no state mutation, no
+// random draws — so an observed run stays byte-identical to an
+// unobserved one. The invariant auditor (internal/check) uses TxStarted
+// to verify no frame leaves a sleeping or crashed radio, and both hooks
+// to fold channel activity into the trace digest.
+type Observer interface {
+	// TxStarted fires at the start of every transmission, before the
+	// source radio enters Tx: state is the radio state at that instant
+	// and enabled whether the station is alive on the channel.
+	TxStarted(f *Frame, state radio.State, enabled bool)
+	// Delivered fires for every successful frame decode at dst, before
+	// the receiver's FrameDelivered callback.
+	Delivered(f *Frame, dst NodeID)
+}
+
 // Stats counts channel-level outcomes.
 type Stats struct {
 	// Transmissions is the number of frames put on the air.
@@ -78,6 +94,9 @@ type Stats struct {
 	Collisions uint64
 	// RandomDrops is the number of deliveries suppressed by loss injection.
 	RandomDrops uint64
+	// LinkDrops is the number of deliveries suppressed by per-link loss
+	// (the dynamics layer's link-degradation injector).
+	LinkDrops uint64
 	// MissedAsleep is the number of frame arrivals at a receiver whose
 	// radio could not receive (off, transitioning, or mid-reception of
 	// the same frame start).
@@ -100,10 +119,18 @@ type station struct {
 	radio   *radio.Radio
 	rx      Receiver
 	enabled bool
+	// disabled marks a permanent Disable (node death): unlike a
+	// Suspend, it can never be Resumed.
+	disabled bool
 
 	carriers  int       // in-range ongoing transmissions
 	receiving *activeTx // frame this station is locked onto
 	corrupted bool      // receiving frame got hit by overlap
+}
+
+// linkKey identifies one directed link for per-link loss injection.
+type linkKey struct {
+	src, dst NodeID
 }
 
 // Channel is the shared medium connecting all attached stations.
@@ -117,6 +144,13 @@ type Channel struct {
 	nextID    uint64
 	stats     Stats
 	neighbors func(NodeID) []NodeID
+	obs       Observer
+	// linkLoss holds per-directed-link drop probabilities (dynamics
+	// layer); nil/empty costs nothing on the delivery path.
+	linkLoss map[linkKey]float64
+	// active tracks in-flight transmissions so Resume can rebuild a
+	// returning station's carrier count; a handful at any instant.
+	active []*activeTx
 	// freeTx recycles activeTx structs (frame + completion callback);
 	// bounded by the peak number of concurrent transmissions.
 	freeTx []*activeTx
@@ -181,6 +215,32 @@ func (c *Channel) Attach(id NodeID, r *radio.Radio, rx Receiver) {
 // Stats returns a copy of the channel counters.
 func (c *Channel) Stats() Stats { return c.stats }
 
+// SetObserver installs a channel activity observer (nil disables).
+func (c *Channel) SetObserver(o Observer) { c.obs = o }
+
+// SetLinkLoss sets the drop probability of the directed link src→dst.
+// p <= 0 removes the entry; p must be below 1. The dynamics layer uses
+// this for deterministic link-degradation ramps.
+func (c *Channel) SetLinkLoss(src, dst NodeID, p float64) {
+	if p >= 1 {
+		panic(fmt.Sprintf("phy: link loss must be below 1, got %g", p))
+	}
+	k := linkKey{src: src, dst: dst}
+	if p <= 0 {
+		delete(c.linkLoss, k)
+		return
+	}
+	if c.linkLoss == nil {
+		c.linkLoss = make(map[linkKey]float64)
+	}
+	c.linkLoss[k] = p
+}
+
+// LinkLoss returns the configured drop probability of src→dst (0 = none).
+func (c *Channel) LinkLoss(src, dst NodeID) float64 {
+	return c.linkLoss[linkKey{src: src, dst: dst}]
+}
+
 // NumStations returns the size of the channel's dense station ID space.
 // MACs use it to size per-peer bookkeeping slices.
 func (c *Channel) NumStations() int { return len(c.stations) }
@@ -207,12 +267,50 @@ func (c *Channel) CarrierBusy(id NodeID) bool {
 func (c *Channel) Disable(id NodeID) {
 	st := c.stations[id]
 	st.enabled = false
+	st.disabled = true
 	st.receiving = nil
 	st.radio.Shutdown()
 }
 
 // Enabled reports whether node id is still alive on the channel.
 func (c *Channel) Enabled(id NodeID) bool { return c.stations[id].enabled }
+
+// Disabled reports whether node id was permanently disabled (node
+// death); a Suspended node is not Disabled and may be Resumed.
+func (c *Channel) Disabled(id NodeID) bool { return c.stations[id].disabled }
+
+// Suspend removes node id from the channel temporarily (a crash the
+// dynamics layer may later recover): it stops receiving frames and
+// generating carrier, and its radio hardware goes down until Resume.
+// Unlike Disable, the outage is reversible.
+func (c *Channel) Suspend(id NodeID) {
+	st := c.stations[id]
+	st.enabled = false
+	st.receiving = nil
+	st.corrupted = false
+	st.carriers = 0
+	st.radio.Shutdown()
+}
+
+// Resume returns a suspended node to the channel: its radio hardware is
+// restored (still off — the caller wakes it) and its carrier count is
+// rebuilt from the transmissions in flight at this instant, since
+// carrier edges during the outage were not delivered to it. A
+// permanently Disabled node cannot be resumed.
+func (c *Channel) Resume(id NodeID) {
+	st := c.stations[id]
+	if st.enabled || st.disabled {
+		return
+	}
+	st.enabled = true
+	st.radio.Restore()
+	st.carriers = 0
+	for _, tx := range c.active {
+		if c.topo.Connected(tx.frame.Src, id) {
+			st.carriers++
+		}
+	}
+}
 
 // StartTx puts a frame on the air from src and returns its airtime. The
 // source radio must be powered. Delivery and carrier bookkeeping at every
@@ -235,6 +333,10 @@ func (c *Channel) StartTx(src NodeID, dst NodeID, bytes int, payload any) (time.
 
 	c.stats.Transmissions++
 	c.stats.BytesSent += uint64(bytes)
+	if c.obs != nil {
+		c.obs.TxStarted(&tx.frame, st.radio.State(), st.enabled)
+	}
+	c.active = append(c.active, tx)
 
 	st.radio.BeginTx()
 	for _, nb := range c.neighbors(src) {
@@ -295,6 +397,15 @@ func (c *Channel) endTx(tx *activeTx) {
 	}
 	// Every station has detached from this transmission: recycle it. The
 	// payload reference is dropped so the pool does not pin MAC headers.
+	for i, a := range c.active {
+		if a == tx {
+			last := len(c.active) - 1
+			c.active[i] = c.active[last]
+			c.active[last] = nil
+			c.active = c.active[:last]
+			break
+		}
+	}
 	tx.frame.Payload = nil
 	c.freeTx = append(c.freeTx, tx)
 }
@@ -304,10 +415,19 @@ func (c *Channel) deliver(rst *station, f *Frame) {
 		c.stats.RandomDrops++
 		return
 	}
+	if len(c.linkLoss) > 0 {
+		if p := c.linkLoss[linkKey{src: f.Src, dst: rst.id}]; p > 0 && c.eng.Rand().Float64() < p {
+			c.stats.LinkDrops++
+			return
+		}
+	}
 	if f.Dst == Broadcast || f.Dst == rst.id {
 		c.stats.Deliveries++
 	} else {
 		c.stats.Overheard++
+	}
+	if c.obs != nil {
+		c.obs.Delivered(f, rst.id)
 	}
 	rst.rx.FrameDelivered(f)
 }

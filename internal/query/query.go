@@ -222,6 +222,10 @@ type runtime struct {
 	// (exactly one tick is outstanding per query).
 	tickFn func()
 	tickK  int
+	// chainDead marks a broken tick chain: a tick fired while the agent
+	// was stopped (node crashed) and did not reschedule itself. Resume
+	// restarts dead chains at the next interval boundary.
+	chainDead bool
 }
 
 // sortedIntervalKs returns the open-interval keys in ascending order.
@@ -363,8 +367,35 @@ func (a *Agent) SetFailureHandlers(onChildFailed func(child NodeID), onParentFai
 	a.onParentFailed = onParentFailed
 }
 
-// Stop halts interval generation (used when a node is killed).
+// Stop halts interval generation (used when a node is killed or
+// crashes). Pending tick events fire but do nothing, breaking each
+// query's tick chain; Resume restarts them.
 func (a *Agent) Stop() { a.stopped = true }
+
+// Resume restarts a stopped agent (node recovery): every query whose
+// tick chain broke while the node was down is rescheduled at its next
+// interval boundary. Intervals missed during the outage are skipped —
+// their data is simply gone, as on real hardware.
+func (a *Agent) Resume() {
+	if !a.stopped {
+		return
+	}
+	a.stopped = false
+	now := a.eng.Now()
+	for _, qid := range a.sortedQueryIDs() {
+		rt := a.queries[qid]
+		if !rt.chainDead {
+			continue
+		}
+		rt.chainDead = false
+		k := 0
+		if now > rt.spec.Phase {
+			k = int((now-rt.spec.Phase)/rt.spec.Period) + 1
+		}
+		rt.tickK = k
+		a.eng.Schedule(rt.spec.IntervalStart(k), rt.tickFn)
+	}
+}
 
 // Register installs a query at this node and schedules its intervals.
 // Must be called before the query's phase.
@@ -391,6 +422,7 @@ func (a *Agent) Register(spec Spec) error {
 
 func (a *Agent) startInterval(rt *runtime, k int) {
 	if a.stopped {
+		rt.chainDead = true
 		return
 	}
 	if _, ok := a.queries[rt.spec.ID]; !ok {
@@ -489,6 +521,13 @@ func (a *Agent) submit(rt *runtime, tr *txReport) {
 		a.releaseTxReport(tr)
 		return
 	}
+	if cur, ok := a.queries[rep.Query]; !ok || cur != rt {
+		// The query was deregistered (mid-run stop, burst teardown) while
+		// this report waited for its send time: drop it silently — the
+		// shaper's schedule state for it is already gone.
+		a.releaseTxReport(tr)
+		return
+	}
 	parent := a.tree.Parent(a.id)
 	if parent == routing.None {
 		// Orphaned: our parent detached us (possibly a false-positive
@@ -526,6 +565,13 @@ func (a *Agent) submit(rt *runtime, tr *txReport) {
 func (a *Agent) sendDone(tr *txReport, ok bool) {
 	rep := &tr.rep
 	if a.stopped {
+		a.releaseTxReport(tr)
+		return
+	}
+	if cur, reg := a.queries[rep.Query]; !reg || cur != tr.rt {
+		// Deregistered while the MAC held the frame: the delivery already
+		// happened (or failed) on the air, but the shaper must not see
+		// hooks for a query it has forgotten.
 		a.releaseTxReport(tr)
 		return
 	}

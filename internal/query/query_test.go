@@ -262,17 +262,23 @@ func TestReportFailedHookAndFailureDetection(t *testing.T) {
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
-	eng.Schedule(150*time.Millisecond, func() {
-		a.HandleReport(2, &Report{Query: 1, Interval: 0, Coverage: 1, Value: 1, Phase: NoPhase})
-	})
-	eng.Run(300 * time.Millisecond)
-	if len(*sent) != 1 {
-		t.Fatalf("sent = %d, want 1", len(*sent))
+	// Three intervals: the child reports each time, the interval closes,
+	// and each submitted report fails at the MAC — three consecutive
+	// delivery failures, each on its own report, as the real MAC
+	// produces them.
+	for k := 0; k < 3; k++ {
+		k := k
+		eng.Schedule(spec.IntervalStart(k)+50*time.Millisecond, func() {
+			a.HandleReport(2, &Report{Query: 1, Interval: k, Coverage: 1, Value: 1, Phase: NoPhase})
+		})
 	}
-	// Three consecutive MAC failures trip the parent-failure handler.
-	(*sent)[0].cb(false)
-	(*sent)[0].cb(false)
-	(*sent)[0].cb(false)
+	for k := 0; k < 3; k++ {
+		eng.Run(spec.IntervalStart(k) + 100*time.Millisecond)
+		if len(*sent) != k+1 {
+			t.Fatalf("after interval %d: sent = %d, want %d", k, len(*sent), k+1)
+		}
+		(*sent)[k].cb(false)
+	}
 	if sh.count("failed") != 3 {
 		t.Fatalf("ReportFailed calls = %d, want 3", sh.count("failed"))
 	}
@@ -409,5 +415,52 @@ func (p *phaseStub) ReportReady(q ID, k int, readyAt time.Duration) (time.Durati
 func TestMaxAgg(t *testing.T) {
 	if MaxAgg(3, 5) != 5 || MaxAgg(5, 3) != 5 {
 		t.Fatal("MaxAgg broken")
+	}
+}
+
+func TestStopBreaksAndResumeRestartsIntervalChain(t *testing.T) {
+	eng, _, a, _, sent := chainFixture(t)
+	if err := a.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Leaf-like behavior: no child reports, so intervals close by
+	// deadline (spec.Period*3/4) and submit immediately.
+	eng.Run(spec.IntervalStart(1)) // interval 0 closed and sent
+	before := len(*sent)
+	if before == 0 {
+		t.Fatal("no report before the outage")
+	}
+
+	a.Stop()
+	eng.Run(spec.IntervalStart(4)) // ticks 1..3 fire into the stopped agent
+	if got := len(*sent); got != before {
+		t.Fatalf("stopped agent submitted %d new reports", got-before)
+	}
+
+	a.Resume()
+	eng.Run(spec.IntervalStart(8))
+	after := len(*sent)
+	if after <= before {
+		t.Fatal("resumed agent produced no reports")
+	}
+	// The restarted chain begins at the next interval boundary after the
+	// resume point, skipping the missed ones.
+	first := (*sent)[before].rep.Interval
+	if first < 4 {
+		t.Fatalf("first post-resume interval = %d, want >= 4 (missed intervals must be skipped)", first)
+	}
+}
+
+func TestResumeWithoutStopIsNoOp(t *testing.T) {
+	eng, _, a, _, sent := chainFixture(t)
+	if err := a.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	a.Resume() // not stopped: must not double-schedule the chain
+	eng.Run(spec.IntervalStart(2))
+	for i := 1; i < len(*sent); i++ {
+		if (*sent)[i].rep.Interval == (*sent)[i-1].rep.Interval {
+			t.Fatalf("interval %d reported twice", (*sent)[i].rep.Interval)
+		}
 	}
 }

@@ -174,9 +174,10 @@ func (r *Radio) setState(s State) {
 	}
 }
 
-// Shutdown forces the radio off permanently: a dead node's hardware. Any
+// Shutdown forces the radio off: a dead or crashed node's hardware. Any
 // in-flight transmission or reception is cut, and all future TurnOn calls
 // are ignored (stale wake-ups from sleep schedulers or power managers).
+// Shutdown is permanent unless Restore is called (node recovery).
 func (r *Radio) Shutdown() {
 	r.dead = true
 	r.pendingOn = false
@@ -190,7 +191,11 @@ func (r *Radio) Shutdown() {
 	}
 }
 
-// Dead reports whether Shutdown was called.
+// Restore reverses a Shutdown: the hardware is usable again, still Off.
+// The caller decides when to TurnOn. No-op on a live radio.
+func (r *Radio) Restore() { r.dead = false }
+
+// Dead reports whether the radio was shut down and not restored.
 func (r *Radio) Dead() bool { return r.dead }
 
 // TurnOn initiates the Off→Idle transition. It is a no-op if the radio is

@@ -1,0 +1,65 @@
+package registry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLookupReturnsRegisteredValue(t *testing.T) {
+	r := New[string, int]("thing")
+	r.Register("a", 0, 41)
+	got, ok := r.Lookup("a")
+	if !ok || got != 41 {
+		t.Fatalf("Lookup(a) = %d, %v; want 41, true", got, ok)
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	r := New[string, int]("thing")
+	r.Register("a", 0, 1)
+	if v, ok := r.Lookup("nope"); ok {
+		t.Fatalf("Lookup(nope) = %d, true; want miss", v)
+	}
+	if v, ok := r.Lookup(""); ok {
+		t.Fatalf("Lookup(\"\") = %d, true; want miss", v)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := New[string, int]("thing")
+	r.Register("a", 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	r.Register("a", 1, 2)
+}
+
+func TestNamesOrderedByRankThenName(t *testing.T) {
+	r := New[string, int]("thing")
+	// Insert in scrambled order; Names must sort by (rank, name).
+	r.Register("zeta", 0, 1)
+	r.Register("beta", 2, 2)
+	r.Register("alpha", 2, 3)
+	r.Register("mid", 1, 4)
+	want := []string{"zeta", "mid", "alpha", "beta"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	// Deterministic across calls (no map-order leakage).
+	for i := 0; i < 10; i++ {
+		if got := r.Names(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Names() unstable on call %d: %v", i, got)
+		}
+	}
+}
+
+func TestNamedStringKeyTypes(t *testing.T) {
+	type key string
+	r := New[key, string]("typed")
+	r.Register("x", 0, "vx")
+	if v, ok := r.Lookup("x"); !ok || v != "vx" {
+		t.Fatalf("typed-key Lookup = %q, %v", v, ok)
+	}
+}

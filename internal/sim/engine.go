@@ -124,12 +124,23 @@ type slotList struct {
 	head, tail *Event
 }
 
+// Observer is notified of every event execution, in order, before the
+// event's callback runs. Observers must be pure: they may not schedule,
+// cancel, or touch the engine's random stream, so that an observed run
+// is indistinguishable from an unobserved one. The invariant auditor
+// (internal/check) uses this to verify that pops are monotone in
+// (at, seq) and to fold the event stream into a trace digest.
+type Observer interface {
+	EventFired(at time.Duration, seq uint64)
+}
+
 // Engine is a discrete-event scheduler with a virtual clock.
 // It is not safe for concurrent use; a simulation runs on one goroutine.
 type Engine struct {
 	now       time.Duration
 	seq       uint64
 	rng       *rand.Rand
+	obs       Observer
 	processed uint64
 	// live is the number of scheduled (not yet fired, not canceled)
 	// events.
@@ -159,6 +170,11 @@ func (e *Engine) Now() time.Duration { return e.now }
 
 // Rand returns the engine's deterministic random stream.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetObserver installs an execution observer (nil disables). The
+// disabled path costs one nil check per event, which is what keeps the
+// auditor free when it is off.
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -379,6 +395,9 @@ func (e *Engine) nextWithin(limit uint64) *Event {
 
 // fire detaches ev, advances the clock to it, and executes its callback.
 func (e *Engine) fire(ev *Event) {
+	if e.obs != nil {
+		e.obs.EventFired(ev.at, ev.seq)
+	}
 	e.detach(ev)
 	e.now = ev.at
 	e.cursor = uint64(ev.at) >> tickShift

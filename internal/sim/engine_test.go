@@ -767,3 +767,171 @@ func TestScheduleNearAfterDeadlinePeek(t *testing.T) {
 		t.Fatalf("interleaved deadline runs fired out of order: %v", fired[3:])
 	}
 }
+
+// Differential test (folded in from the PR-3 review scratch file):
+// engine vs a naive sorted-list reference, mixing bounded Run calls,
+// between-run and in-callback schedules, cancels, and reschedules
+// across all wheel levels and the overflow heap.
+func TestDifferentialAgainstSortedModel(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := New(seed)
+
+		type ref struct {
+			at       time.Duration
+			seq      uint64
+			id       int
+			canceled bool
+		}
+		var model []*ref
+		handles := map[int]*Event{}
+		var fired, want []int
+		nextID := 0
+		var mseq uint64
+
+		schedule := func(at time.Duration) {
+			id := nextID
+			nextID++
+			r := &ref{at: at, seq: mseq, id: id}
+			mseq++
+			model = append(model, r)
+			handles[id] = e.Schedule(at, func() {
+				delete(handles, id)
+				fired = append(fired, id)
+			})
+		}
+
+		randomAt := func() time.Duration {
+			mag := time.Duration(1) << uint(rng.Intn(44)) // up to ~4.8h, past horizon
+			return e.Now() + time.Duration(rng.Int63n(int64(mag)))
+		}
+
+		// Run the model forward to `until`, appending fired ids to want.
+		runModel := func(until time.Duration) {
+			for {
+				live := model[:0:0]
+				for _, r := range model {
+					if !r.canceled {
+						live = append(live, r)
+					}
+				}
+				if len(live) == 0 {
+					return
+				}
+				sort.Slice(live, func(a, b int) bool {
+					if live[a].at != live[b].at {
+						return live[a].at < live[b].at
+					}
+					return live[a].seq < live[b].seq
+				})
+				r := live[0]
+				if r.at > until {
+					return
+				}
+				r.canceled = true // consumed
+				want = append(want, r.id)
+			}
+		}
+
+		for round := 0; round < 30; round++ {
+			for op := 0; op < 10; op++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					schedule(randomAt())
+				case 2: // cancel a random live event
+					for id, ev := range handles {
+						ev.Cancel()
+						delete(handles, id)
+						for _, r := range model {
+							if r.id == id {
+								r.canceled = true
+							}
+						}
+						break
+					}
+				case 3: // reschedule a random live event
+					for id, ev := range handles {
+						at := randomAt()
+						ev.RescheduleTo(at)
+						for _, r := range model {
+							if r.id == id {
+								r.at = at
+								r.seq = mseq
+								mseq++
+							}
+						}
+						break
+					}
+				}
+			}
+			until := e.Now() + time.Duration(rng.Int63n(int64(90*time.Minute)))
+			e.Run(until)
+			runModel(until)
+			if len(fired) != len(want) {
+				t.Fatalf("seed %d round %d: fired %d events, model fired %d", seed, round, len(fired), len(want))
+			}
+			for i := range want {
+				if fired[i] != want[i] {
+					t.Fatalf("seed %d round %d: fired[%d] = %d, want %d", seed, round, i, fired[i], want[i])
+				}
+			}
+			if e.Pending() != len(handles) {
+				t.Fatalf("seed %d round %d: Pending() = %d, want %d", seed, round, e.Pending(), len(handles))
+			}
+		}
+		// Drain everything.
+		e.RunAll()
+		runModel(1 << 62)
+		if len(fired) != len(want) {
+			t.Fatalf("seed %d drain: fired %d events, model fired %d", seed, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("seed %d drain: fired[%d] = %d, want %d", seed, i, fired[i], want[i])
+			}
+		}
+	}
+}
+
+// popRecorder records every observed pop for the observer tests.
+type popRecorder struct {
+	ats  []time.Duration
+	seqs []uint64
+}
+
+func (p *popRecorder) EventFired(at time.Duration, seq uint64) {
+	p.ats = append(p.ats, at)
+	p.seqs = append(p.seqs, seq)
+}
+
+func TestObserverSeesEveryPopInOrder(t *testing.T) {
+	e := New(1)
+	rec := &popRecorder{}
+	e.SetObserver(rec)
+	var fired []time.Duration
+	for _, d := range []time.Duration{30, 10, 20} {
+		d := d * time.Millisecond
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	// An event scheduled from a callback is observed too.
+	e.Schedule(5*time.Millisecond, func() {
+		e.After(time.Millisecond, func() {})
+	})
+	e.RunAll()
+	if len(rec.ats) != 5 {
+		t.Fatalf("observer saw %d pops, want 5", len(rec.ats))
+	}
+	for i := 1; i < len(rec.ats); i++ {
+		if rec.ats[i] < rec.ats[i-1] || (rec.ats[i] == rec.ats[i-1] && rec.seqs[i] <= rec.seqs[i-1]) {
+			t.Fatalf("observer pops out of (at, seq) order at %d: %v/%v after %v/%v",
+				i, rec.ats[i], rec.seqs[i], rec.ats[i-1], rec.seqs[i-1])
+		}
+	}
+	// Disabling the observer stops the stream.
+	e.SetObserver(nil)
+	e.Schedule(e.Now()+time.Millisecond, func() {})
+	e.RunAll()
+	if len(rec.ats) != 5 {
+		t.Fatalf("disabled observer still saw pops: %d", len(rec.ats))
+	}
+}

@@ -33,6 +33,7 @@ const (
 	PhaseRequest
 	NodeFailed
 	Reparented
+	Recovered
 )
 
 // String returns the event kind's name.
@@ -64,6 +65,8 @@ func (k Kind) String() string {
 		return "node-failed"
 	case Reparented:
 		return "reparented"
+	case Recovered:
+		return "recovered"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
