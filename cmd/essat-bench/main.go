@@ -85,6 +85,9 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "override seeds per point")
 		parallel = flag.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS)")
 		topo     = flag.String("topology", "", "topology generator for every run (empty = the paper's uniform placement; see essat-sim -list)")
+		channel  = flag.String("channel", "", "channel propagation model for every run (empty = the paper's unit disc; see essat-sim -list)")
+		radioPr  = flag.String("radio", "", "radio energy profile for every run (empty = the paper's cost model; see essat-sim -list)")
+		seed     = flag.Int64("seed", 0, "base seed; every point runs seeds seed..seed+seeds-1 (0 = 1, the paper's range)")
 		outJSON  = flag.String("benchjson", "", "write a throughput report (wall time, events/sec, sim-seconds/sec) to this file")
 		scale    = flag.String("scale", "", "also run this scenario spec once (e.g. testdata/large.json) and record a 'scale' section in the report")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -107,6 +110,9 @@ func main() {
 	}
 	o.Parallelism = *parallel
 	o.Topology = *topo
+	o.Channel = *channel
+	o.RadioProfile = *radioPr
+	o.BaseSeed = *seed
 	o.Audit = *audit
 
 	if len(figs) == 0 {

@@ -11,6 +11,8 @@
 //	essat-sim -protocol STS-SS -deadline 120ms -seeds 5
 //	essat-sim -protocol DTS-SS -loss 0.1 -failures 2
 //	essat-sim -topology corridor -protocol DTS-SS
+//	essat-sim -channel shadowing -radio cc2420 -audit
+//	essat-sim -channel dual-disc:inner=0.6,outer=1.3 -seed 42
 //	essat-sim -protocol DTS-SS -churn 3 -burst 20s -audit
 //	essat-sim -scenario testdata/dynamics_crash.json -audit
 //	essat-sim -scenario testdata/example.json
@@ -22,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/essat/essat"
@@ -34,6 +38,9 @@ func main() {
 		list     = flag.Bool("list", false, "list registered protocols, topology generators, and figures, then exit")
 		protocol = flag.String("protocol", "DTS-SS", "protocol: DTS-SS, STS-SS, NTS-SS, SPAN, PSM, SYNC, TMAC (see -list)")
 		topo     = flag.String("topology", "", "topology generator: uniform, grid, clusters, corridor (empty = uniform)")
+		channel  = flag.String("channel", "", "channel propagation model: disc, shadowing, dual-disc; knobs as model:key=value,... e.g. shadowing:sigma=6 (empty = disc)")
+		radioPr  = flag.String("radio", "", "radio energy profile: paper, cc1000, cc2420 (empty = paper)")
+		seedBase = flag.Int64("seed", 1, "base seed; runs use seeds seed..seed+seeds-1 (overrides a spec file's seed when set explicitly)")
 		rate     = flag.Float64("rate", 1.0, "base rate of query class Q1 in Hz (Q1:Q2:Q3 = 6:3:2)")
 		perClass = flag.Int("queries", 1, "queries per class")
 		nodes    = flag.Int("nodes", 80, "number of nodes")
@@ -77,23 +84,40 @@ func main() {
 			fatal(fmt.Errorf("area must be positive, got %g", *area))
 		}
 	}
+	chSpec, err := parseChannelFlag(*channel)
+	if err != nil {
+		fatal(err)
+	}
 	spec := specFromFlags(*protocol, *topo, *rate, *perClass, *nodes, *area,
 		*duration, *deadline, *tbe, *loss, *failures, *bfs, *traceN, *dissem, *peers, *battery,
-		*churn, *burst)
+		*churn, *burst, chSpec, *radioPr)
+	seedExplicit := false
 	if *scenario != "" {
 		loaded, err := essat.LoadSpec(*scenario)
 		if err != nil {
 			fatal(err)
 		}
-		// The file replaces the shape flags, with one exception: an
-		// explicitly passed -duration overrides it, so large specs can be
-		// smoke-tested quickly (-scenario testdata/large.json -duration 5s)
-		// without editing them.
+		// The file replaces the shape flags, with exceptions: explicitly
+		// passed -duration, -channel, and -radio override it, so checked-in
+		// specs can be smoke-tested under different durations and hardware
+		// models (-scenario testdata/large.json -duration 5s -channel
+		// shadowing) without editing them.
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "duration" {
+			switch f.Name {
+			case "duration":
 				loaded.Duration = essat.Dur(*duration)
 				if loaded.MeasureFrom != nil && loaded.MeasureFrom.D() >= *duration {
 					loaded.MeasureFrom = nil
+				}
+			case "channel":
+				loaded.Channel = chSpec
+			case "radio":
+				// -radio "" resets a spec's radio block to the paper
+				// default, mirroring what -channel "" does for the model.
+				if *radioPr == "" {
+					loaded.Radio = nil
+				} else {
+					loaded.Radio = &essat.RadioSpec{Profile: *radioPr}
 				}
 			}
 		})
@@ -102,13 +126,21 @@ func main() {
 	if *audit {
 		spec.Audit = true
 	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedExplicit = true
+		}
+	})
 
 	var duty, lat stats.Welford
 	var last, firstViolating *essat.Result
-	for seed := int64(1); seed <= int64(*seeds); seed++ {
+	for i := int64(0); i < int64(*seeds); i++ {
 		run := *spec
-		if *seeds > 1 || run.Seed == 0 {
-			run.Seed = seed
+		// An explicitly passed -seed wins over a spec file's seed; the
+		// historical default (seeds 1..N, a spec's own seed honored on
+		// single-seed runs) is unchanged otherwise.
+		if seedExplicit || *seeds > 1 || run.Seed == 0 {
+			run.Seed = *seedBase + i
 		}
 		res, err := essat.RunSpec(&run)
 		if err != nil {
@@ -143,12 +175,39 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// parseChannelFlag decodes the -channel flag: a model name with
+// optional knobs, "shadowing:sigma=6,pathloss=2.7". An empty flag keeps
+// the spec's channel (nil).
+func parseChannelFlag(s string) (*essat.ChannelSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	model, rest, hasParams := strings.Cut(s, ":")
+	cs := &essat.ChannelSpec{Model: model}
+	if !hasParams {
+		return cs, nil
+	}
+	cs.Params = map[string]float64{}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("channel param %q is not key=value", kv)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("channel param %q: %v", kv, err)
+		}
+		cs.Params[k] = f
+	}
+	return cs, nil
+}
+
 // specFromFlags translates the classic flag interface into the same
 // declarative spec the -scenario path uses, so both run identically.
 func specFromFlags(protocol, topo string, rate float64, perClass, nodes int, area float64,
 	duration, deadline, tbe time.Duration, loss float64, failures int, bfs bool,
 	traceN int, dissem time.Duration, peers int, battery float64,
-	churn int, burst time.Duration) *essat.Spec {
+	churn int, burst time.Duration, channel *essat.ChannelSpec, radioProfile string) *essat.Spec {
 
 	spec := &essat.Spec{
 		Protocol:      protocol,
@@ -162,6 +221,10 @@ func specFromFlags(protocol, topo string, rate float64, perClass, nodes int, are
 		BatteryJ:      battery,
 		TraceCapacity: traceN,
 		Workload:      &essat.Workload{BaseRate: rate, PerClass: perClass},
+		Channel:       channel,
+	}
+	if radioProfile != "" {
+		spec.Radio = &essat.RadioSpec{Profile: radioProfile}
 	}
 	if tbe >= 0 {
 		be := essat.Dur(tbe)
@@ -213,6 +276,15 @@ func printRegistries() {
 	for _, g := range essat.TopologyGenerators() {
 		fmt.Printf("  %s\n", g)
 	}
+	fmt.Println("\nchannel propagation models (spec \"channel\" block; -channel):")
+	for _, m := range essat.ChannelModels() {
+		fmt.Printf("  %s\n", m)
+	}
+	fmt.Println("\nradio energy profiles (spec \"radio\" block; -radio):")
+	for _, p := range essat.RadioProfiles() {
+		prof, _ := essat.LookupRadioProfile(p)
+		fmt.Printf("  %-8s (tBE %v)\n", p, prof.BreakEven())
+	}
 	fmt.Println("\ndynamics injectors (spec \"dynamics\" block; -churn/-burst shortcuts):")
 	for _, k := range essat.DynamicsKinds() {
 		fmt.Printf("  %s\n", k)
@@ -227,6 +299,12 @@ func printResult(spec *essat.Spec, last *essat.Result, duty, lat stats.Welford, 
 	fmt.Printf("protocol       %s\n", spec.Protocol)
 	if spec.Topology != "" {
 		fmt.Printf("topology       %s\n", spec.Topology)
+	}
+	if spec.Channel != nil {
+		fmt.Printf("channel        %s\n", spec.Channel.Model)
+	}
+	if spec.Radio != nil {
+		fmt.Printf("radio          %s\n", spec.Radio.Profile)
 	}
 	fmt.Printf("tree           %d members, max rank %d\n", last.TreeSize, last.MaxRank)
 	fmt.Printf("duty cycle     %.2f%% ± %.2f (90%% CI over %d seeds)\n", duty.Mean(), duty.CI90(), duty.N())

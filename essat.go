@@ -57,8 +57,10 @@ import (
 	"github.com/essat/essat/internal/core"
 	"github.com/essat/essat/internal/dynamics"
 	"github.com/essat/essat/internal/experiment"
+	"github.com/essat/essat/internal/phy"
 	"github.com/essat/essat/internal/protocol"
 	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/radio"
 	"github.com/essat/essat/internal/topology"
 )
 
@@ -94,6 +96,25 @@ func AllProtocols() []Protocol { return protocol.All() }
 // ("uniform", "grid", "clusters", "corridor", ...); select one via
 // Spec.Topology or Scenario.Topology.Generator.
 func TopologyGenerators() []string { return topology.GeneratorNames() }
+
+// ChannelModels lists every registered channel propagation model
+// ("disc", "shadowing", "dual-disc", ...); select one via Spec.Channel
+// or Scenario.Propagation. The default disc model is the paper's
+// unit-disc channel.
+func ChannelModels() []string { return phy.PropagationNames() }
+
+// RadioProfiles lists every registered radio energy profile ("paper",
+// "cc1000", "cc2420", ...); select one via Spec.Radio or
+// Scenario.RadioProfile. The default paper profile is the ESSAT
+// paper's §4.1 cost model.
+func RadioProfiles() []string { return radio.ProfileNames() }
+
+// EnergyProfile bundles one radio hardware's energy model (per-state
+// power, transition latencies, derived break-even time).
+type EnergyProfile = radio.EnergyProfile
+
+// LookupRadioProfile returns the energy profile registered under name.
+func LookupRadioProfile(name string) (EnergyProfile, bool) { return radio.LookupProfile(name) }
 
 // TopologyConfig describes a deployment: scale plus placement
 // generator; it is the type of Scenario.Topology.
@@ -185,14 +206,17 @@ type Spec = experiment.Spec
 // Workload generates the paper's three-class workload from a Spec.
 type Workload = experiment.WorkloadSpec
 
-// FailureSpec, QueryStopSpec, FlowSpec and DynamicsSpec are the Spec
-// forms of failures, query stops, dissemination/peer flows, and
-// dynamics injectors.
+// FailureSpec, QueryStopSpec, FlowSpec, DynamicsSpec, ChannelSpec and
+// RadioSpec are the Spec forms of failures, query stops,
+// dissemination/peer flows, dynamics injectors, the channel propagation
+// model, and the radio energy profile.
 type (
 	FailureSpec   = experiment.FailureSpec
 	QueryStopSpec = experiment.QueryStopSpec
 	FlowSpec      = experiment.FlowSpec
 	DynamicsSpec  = experiment.DynamicsSpec
+	ChannelSpec   = experiment.ChannelSpec
+	RadioSpec     = experiment.RadioSpec
 )
 
 // Duration is the JSON-friendly duration used throughout Spec; it

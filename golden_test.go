@@ -85,7 +85,52 @@ func goldenSuite() map[string][]goldenRun {
 	suite["example.json"] = []goldenRun{{label: "as-checked-in", build: fromFile("testdata/example.json", 0)}}
 	// The 1000-node tier, shortened exactly like the CI smoke run.
 	suite["large.json"] = []goldenRun{{label: "5s-smoke", build: fromFile("testdata/large.json", 5*time.Second)}}
+	// The lossy-channel tier: log-normal shadowing links on CC2420
+	// hardware, pinning the gray-zone delivery draws, the widened
+	// candidate graph, the flood retry rounds, and the profile-derived
+	// break-even time.
+	suite["shadowing.json"] = []goldenRun{{label: "as-checked-in", build: fromFile("testdata/shadowing.json", 0)}}
 	return suite
+}
+
+// TestDiscModelMatchesLegacy pins the refactor's central promise: the
+// explicit default models ("disc" propagation, "paper" energy profile)
+// execute the exact event trace the hardwired pre-refactor path did.
+// The golden digests were recorded before the model registries existed,
+// so a match here proves the hooks are behavior-preserving, not merely
+// self-consistent.
+func TestDiscModelMatchesLegacy(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	var golden map[string]map[string]string
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []essat.Protocol{essat.DTSSS, essat.STSSS, essat.NTSSS, essat.PSM, essat.SPAN} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			want := golden["fig3"][string(p)+"/rate=1"]
+			if want == "" {
+				t.Fatalf("no golden digest for %s", p)
+			}
+			sc := essat.DefaultScenario(p, 1)
+			sc.Duration = 20 * time.Second
+			sc.Queries = essat.QueryClasses(rand.New(rand.NewSource(7919)), 1, 1, 10*time.Second)
+			sc.Propagation = "disc"
+			sc.RadioProfile = "paper"
+			sc.Audit = true
+			res, err := essat.Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Audit.Digest != want {
+				t.Errorf("explicit disc+paper digest %s != legacy golden %s", res.Audit.Digest, want)
+			}
+		})
+	}
 }
 
 // TestGoldenTraceDigests executes every pinned scenario under the

@@ -131,7 +131,7 @@ func newPsmNet(t *testing.T, n int) *psmNet {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch := phy.NewChannel(eng, topo, phy.DefaultConfig())
+	ch, _ := phy.NewChannel(eng, topo, phy.DefaultConfig())
 	net := &psmNet{eng: eng, got: make([][]any, n)}
 	for i := 0; i < n; i++ {
 		r := radio.New(eng, radio.Config{})

@@ -36,7 +36,7 @@ func newTmacNet(t *testing.T, n int) *tmacNet {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch := phy.NewChannel(eng, topo, phy.DefaultConfig())
+	ch, _ := phy.NewChannel(eng, topo, phy.DefaultConfig())
 	net := &tmacNet{eng: eng, got: make([][]any, n)}
 	for i := 0; i < n; i++ {
 		r := radio.New(eng, radio.Config{})

@@ -30,6 +30,17 @@ type Options struct {
 	// the generator's knobs (see internal/topology).
 	Topology       string
 	TopologyParams map[string]float64
+	// Channel selects a propagation model by registry name; empty keeps
+	// the paper's unit-disc channel. ChannelParams passes its knobs
+	// (see internal/phy).
+	Channel       string
+	ChannelParams map[string]float64
+	// RadioProfile selects a radio energy profile by registry name;
+	// empty keeps the paper's cost model (see internal/radio).
+	RadioProfile string
+	// BaseSeed offsets the per-point seed range: each point runs seeds
+	// BaseSeed..BaseSeed+Seeds-1. Zero selects 1, the paper's range.
+	BaseSeed int64
 	// Audit runs every scenario under the cross-layer invariant auditor
 	// (pure observation: results are unchanged).
 	Audit bool
@@ -63,6 +74,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.BaseSeed <= 0 {
+		o.BaseSeed = 1
 	}
 	return o
 }
@@ -200,14 +214,16 @@ func auditErr(res *Result) error {
 		res.Protocol, res.Seed, res.Audit.Total, res.Audit.Violations[0])
 }
 
-// runMatrix runs build(i, seed) for every point index i and seed 1..Seeds
-// through one pooled grid and returns results[i] in seed order.
+// runMatrix runs build(i, seed) for every point index i and seed
+// BaseSeed..BaseSeed+Seeds-1 through one pooled grid and returns
+// results[i] in seed order.
 func runMatrix(o Options, n int, build func(i int, seed int64) Scenario) ([][]*Result, error) {
 	jobs := make([]*runJob, 0, n*o.Seeds)
 	for i := 0; i < n; i++ {
-		for s := 1; s <= o.Seeds; s++ {
-			i, s := i, s
-			jobs = append(jobs, &runJob{build: func() Scenario { return build(i, int64(s)) }})
+		for s := 0; s < o.Seeds; s++ {
+			// Every driver normalized o already, so BaseSeed is >= 1.
+			i, seed := i, o.BaseSeed+int64(s)
+			jobs = append(jobs, &runJob{build: func() Scenario { return build(i, seed) }})
 		}
 	}
 	if err := runGrid(o, jobs); err != nil {
@@ -240,6 +256,9 @@ func (o Options) scenario(p Protocol, seed int64) Scenario {
 	sc.Topology.NumNodes = o.Nodes
 	sc.Topology.Generator = o.Topology
 	sc.Topology.Params = o.TopologyParams
+	sc.Propagation = o.Channel
+	sc.PropagationParams = o.ChannelParams
+	sc.RadioProfile = o.RadioProfile
 	sc.Audit = o.Audit
 	if sc.MeasureFrom >= sc.Duration {
 		sc.MeasureFrom = sc.Duration / 5

@@ -98,7 +98,15 @@ type Scenario struct {
 	Duration    time.Duration
 	MeasureFrom time.Duration
 
-	// Radio hardware and SS parameters.
+	// RadioProfile selects the radio energy profile by registry name
+	// ("paper", "cc1000", "cc2420"); empty keeps the paper's §4.1 cost
+	// model. The profile supplies the transition latencies, the
+	// per-state power draw behind every energy metric (battery
+	// exhaustion, lifetime, the auditor's energy invariant), and Safe
+	// Sleep's derived break-even time.
+	RadioProfile string
+	// RadioCfg overrides the profile's transition latencies when
+	// non-zero; leave zero to use the profile's hardware numbers.
 	RadioCfg radio.Config
 	// SSBreakEven is the Safe Sleep tBE parameter; negative selects the
 	// radio's intrinsic break-even time (Fig. 8/9 sweep it explicitly).
@@ -116,6 +124,12 @@ type Scenario struct {
 	// MAC and channel parameters; zero values select the defaults.
 	MACCfg     mac.Config
 	ChannelCfg phy.Config
+	// Propagation selects the channel propagation model by registry name
+	// ("disc", "shadowing", "dual-disc"); empty keeps the unit-disc
+	// channel of the paper. PropagationParams passes the model's knobs
+	// (shadowing "sigma"/"pathloss", dual-disc "inner"/"outer").
+	Propagation       string
+	PropagationParams map[string]float64
 	// LossRate injects independent per-delivery loss.
 	LossRate float64
 
@@ -184,7 +198,6 @@ func DefaultScenario(p Protocol, seed int64) Scenario {
 		TreeMaxDist: 300,
 		Duration:    200 * time.Second,
 		MeasureFrom: 10 * time.Second,
-		RadioCfg:    radio.Mica2Config(),
 		SSBreakEven: -1,
 		MACCfg:      mac.DefaultConfig(),
 		ChannelCfg:  phy.DefaultConfig(),
@@ -320,6 +333,7 @@ type Sim struct {
 	sink      *stats.RootSink
 	tracer    *trace.Tracer
 	auditor   *check.Auditor
+	profile   radio.PowerProfile
 	activeAt0 map[node.NodeID]time.Duration
 	energyAt0 map[node.NodeID]float64
 
@@ -343,31 +357,69 @@ func Build(sc Scenario) (*Sim, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiment: unknown protocol %q (registered: %v)", sc.Protocol, protocol.All())
 	}
+	// Resolve the pluggable hardware models first: the propagation model
+	// shapes the candidate graph and both channels (setup flood and
+	// run), the energy profile everything that meters joules.
+	prop, err := phy.NewPropagation(sc.Propagation, sc.PropagationParams)
+	if err != nil {
+		return nil, err
+	}
+	if sc.ChannelCfg.Propagation != nil {
+		// An explicitly wired model (imperative API) wins over the name.
+		prop = sc.ChannelCfg.Propagation
+	}
+	profName := sc.RadioProfile
+	if profName == "" {
+		profName = radio.Paper
+	}
+	prof, ok := radio.LookupProfile(profName)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown radio profile %q (registered: %v)", sc.RadioProfile, radio.ProfileNames())
+	}
+	rcfg := sc.RadioCfg
+	if rcfg == (radio.Config{}) {
+		rcfg = prof.Config()
+	}
 	eng := sim.New(sc.Seed)
 
+	// Gray-zone models deliver past the nominal range: widen the
+	// candidate-neighbor graph to the model's conservative maximum.
+	sc.Topology.NeighborRange = prop.MaxRange(sc.Topology.Range)
 	topo, err := topology.New(eng.Rand(), sc.Topology)
 	if err != nil {
 		return nil, err
 	}
 	root := topo.CentralNode()
-	var tree *routing.Tree
-	if sc.BFSTree {
-		tree, err = routing.BuildBFS(topo, root, sc.TreeMaxDist)
-	} else {
-		fcfg := routing.DefaultFloodConfig()
-		fcfg.MaxDist = sc.TreeMaxDist
-		tree, err = routing.BuildFlood(sc.Seed+1, topo, root, fcfg)
-	}
-	if err != nil {
-		return nil, err
-	}
 
 	chCfg := sc.ChannelCfg
 	if chCfg.BitRate == 0 {
 		chCfg = phy.DefaultConfig()
 	}
 	chCfg.LossRate = sc.LossRate
-	ch := phy.NewChannel(eng, topo, chCfg)
+	chCfg.Propagation = prop
+
+	var tree *routing.Tree
+	if sc.BFSTree {
+		tree, err = routing.BuildBFS(topo, root, sc.TreeMaxDist)
+	} else {
+		fcfg := routing.DefaultFloodConfig()
+		fcfg.MaxDist = sc.TreeMaxDist
+		fcfg.ChannelCfg.Propagation = prop
+		if !phy.IsDisc(prop) {
+			// Probabilistic links can strand first-round stragglers;
+			// extra flood rounds keep tree construction converging.
+			fcfg.Rounds = 3
+		}
+		tree, err = routing.BuildFlood(sc.Seed+1, topo, root, fcfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	ch, err := phy.NewChannel(eng, topo, chCfg)
+	if err != nil {
+		return nil, err
+	}
 
 	macCfg := sc.MACCfg
 	if macCfg.SlotTime == 0 {
@@ -391,7 +443,7 @@ func Build(sc Scenario) (*Sim, error) {
 	// enabled, the run stays byte-identical. All hooks installed here and
 	// in the per-node loop below are nil (and free) when auditing is off.
 	var auditor *check.Auditor
-	auditProfile := radio.Mica2Power()
+	auditProfile := prof.Power
 	if sc.Audit {
 		auditor = check.New(eng.Now)
 		eng.SetObserver(auditor)
@@ -410,9 +462,16 @@ func Build(sc Scenario) (*Sim, error) {
 		PsmCfg:           sc.PsmCfg,
 		TmacCfg:          sc.TmacCfg,
 	}
+	// Safe Sleep's intrinsic tBE comes from the energy profile (the
+	// paper's equal-power assumption makes it tON+tOFF; radios with
+	// cheaper transitions break even sooner). An explicit RadioCfg keeps
+	// the historical radio-intrinsic fallback.
+	if params.SSBreakEven < 0 && sc.RadioCfg == (radio.Config{}) {
+		params.SSBreakEven = prof.BreakEven()
+	}
 	nodes := make(map[node.NodeID]*node.Node, tree.Size())
 	for _, id := range tree.Members() {
-		n := node.New(eng, id, tree, ch, sc.RadioCfg, macCfg)
+		n := node.New(eng, id, tree, ch, rcfg, macCfg)
 		if sc.RecordSleepIntervals {
 			n.Radio.RecordSleepIntervals()
 		}
@@ -449,7 +508,7 @@ func Build(sc Scenario) (*Sim, error) {
 		if _, ok := nodes[id]; ok {
 			continue
 		}
-		r := radio.New(eng, sc.RadioCfg)
+		r := radio.New(eng, rcfg)
 		darkMAC := mac.New(eng, ch, id, r, macCfg, discard{})
 		_ = darkMAC
 		r.TurnOff()
@@ -599,12 +658,13 @@ func Build(sc Scenario) (*Sim, error) {
 		sink:     sink,
 		tracer:   tracer,
 		auditor:  auditor,
+		profile:  prof.Power,
 	}
 
 	// Battery exhaustion: poll each node's consumption once per simulated
 	// second and kill nodes that drained their budget.
 	if sc.BatteryJ > 0 {
-		prof := radio.Mica2Power()
+		prof := sm.profile
 		var check func()
 		check = func() {
 			for _, id := range tree.Members() {
@@ -629,7 +689,7 @@ func Build(sc Scenario) (*Sim, error) {
 	// Snapshot radio accounting at MeasureFrom for warm-up exclusion.
 	sm.activeAt0 = make(map[node.NodeID]time.Duration, len(nodes))
 	sm.energyAt0 = make(map[node.NodeID]float64, len(nodes))
-	profile := radio.Mica2Power()
+	profile := sm.profile
 	eng.Schedule(sc.MeasureFrom, func() {
 		for id, n := range nodes {
 			sm.activeAt0[id] = n.Radio.ActiveTime()
@@ -649,7 +709,7 @@ func (s *Sim) Simulate() {
 // Collect aggregates the run's metrics into a Result. Call it after
 // Simulate.
 func (s *Sim) Collect() *Result {
-	res := collect(s.Scenario, s.Eng, s.Tree, s.Channel, s.Nodes, s.sink, s.activeAt0, s.energyAt0)
+	res := collect(s.Scenario, s.Eng, s.Tree, s.Channel, s.Nodes, s.sink, s.profile, s.activeAt0, s.energyAt0)
 	countRun(s.Scenario, res.Events)
 	res.FirstDeath = s.firstDeath
 	res.BatteryDeaths = s.batteryDeaths
@@ -713,7 +773,9 @@ func (h *dynHost) Recover(id topology.NodeID) {
 }
 
 func (h *dynHost) SetLinkLoss(a, b topology.NodeID, p float64) {
-	h.ch.SetLinkLoss(a, b, p)
+	// The injector validated its peak < 1 at build time, so the only
+	// error SetLinkLoss can return is unreachable from here.
+	_ = h.ch.SetLinkLoss(a, b, p)
 }
 
 func (h *dynHost) AddQuery(spec query.Spec) error {
@@ -803,7 +865,7 @@ func pickVictim(rng *rand.Rand, tree *routing.Tree) node.NodeID {
 }
 
 func collect(sc Scenario, eng *sim.Engine, tree *routing.Tree, ch *phy.Channel,
-	nodes map[node.NodeID]*node.Node, sink *stats.RootSink,
+	nodes map[node.NodeID]*node.Node, sink *stats.RootSink, profile radio.PowerProfile,
 	activeAt0 map[node.NodeID]time.Duration, energyAt0 map[node.NodeID]float64) *Result {
 
 	res := &Result{
@@ -818,7 +880,6 @@ func collect(sc Scenario, eng *sim.Engine, tree *routing.Tree, ch *phy.Channel,
 	}
 
 	window := float64(sc.Duration - sc.MeasureFrom)
-	profile := radio.Mica2Power()
 	var duty, energy stats.Welford
 	dutyRank := make(map[int]*stats.Welford)
 	var reports, phaseUpdates uint64

@@ -40,7 +40,7 @@ func newChain(t *testing.T, n int, seed int64, chCfg phy.Config) *testNet {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch := phy.NewChannel(eng, topo, chCfg)
+	ch, _ := phy.NewChannel(eng, topo, chCfg)
 	net := &testNet{eng: eng, ch: ch}
 	for i := 0; i < n; i++ {
 		r := radio.New(eng, radio.Config{})
@@ -194,7 +194,7 @@ func TestManyContendersAllDeliver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch := phy.NewChannel(eng, topo, phy.DefaultConfig())
+	ch, _ := phy.NewChannel(eng, topo, phy.DefaultConfig())
 	var macs []*MAC
 	var uppers []*mockUpper
 	for i := 0; i < 6; i++ {
@@ -345,7 +345,7 @@ func TestSendToSelfPanics(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	eng := sim.New(1)
 	topo, _ := topology.FromPositions(geom.LinePlacement(2, 100), 125)
-	ch := phy.NewChannel(eng, topo, phy.DefaultConfig())
+	ch, _ := phy.NewChannel(eng, topo, phy.DefaultConfig())
 	r := radio.New(eng, radio.Config{})
 	bad := DefaultConfig()
 	bad.CWMin = 0

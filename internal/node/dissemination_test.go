@@ -28,7 +28,7 @@ func TestDisseminationEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch := phy.NewChannel(eng, topo, phy.DefaultConfig())
+	ch, _ := phy.NewChannel(eng, topo, phy.DefaultConfig())
 
 	spec := core.DisseminationSpec{
 		ID:           -1,

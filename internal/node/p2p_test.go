@@ -29,7 +29,7 @@ func TestP2PEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch := phy.NewChannel(eng, topo, phy.DefaultConfig())
+	ch, _ := phy.NewChannel(eng, topo, phy.DefaultConfig())
 
 	spec := core.P2PSpec{
 		ID:           -10,
@@ -103,7 +103,7 @@ func TestP2PValidation(t *testing.T) {
 	eng := sim.New(1)
 	topo, _ := topology.FromPositions(geom.LinePlacement(3, 100), 125)
 	tree, _ := routing.BuildBFS(topo, 0, 0)
-	ch := phy.NewChannel(eng, topo, phy.DefaultConfig())
+	ch, _ := phy.NewChannel(eng, topo, phy.DefaultConfig())
 	n := New(eng, 1, tree, ch, radio.Config{}, mac.DefaultConfig())
 	n.InstallAgent(core.NewDTS(n, core.NewSafeSleep(eng, n.Radio, core.SafeSleepOptions{Disabled: true})), nil, query.DefaultConfig())
 	p := n.InstallP2P(nil)

@@ -1,6 +1,7 @@
 // Package phy simulates the shared wireless channel: frame serialization
-// at the channel bitrate, unit-disc propagation, per-receiver collision
-// detection, and carrier sensing.
+// at the channel bitrate, a pluggable propagation model (unit-disc by
+// default; see Propagation), per-receiver collision detection, and
+// carrier sensing.
 //
 // The model is intentionally at the granularity a CSMA/CA MAC needs:
 //
@@ -97,6 +98,10 @@ type Stats struct {
 	// LinkDrops is the number of deliveries suppressed by per-link loss
 	// (the dynamics layer's link-degradation injector).
 	LinkDrops uint64
+	// FadeDrops is the number of deliveries suppressed by the propagation
+	// model's per-link decode verdict (gray-zone models; the default disc
+	// model never drops).
+	FadeDrops uint64
 	// MissedAsleep is the number of frame arrivals at a receiver whose
 	// radio could not receive (off, transitioning, or mid-reception of
 	// the same frame start).
@@ -145,6 +150,11 @@ type Channel struct {
 	stats     Stats
 	neighbors func(NodeID) []NodeID
 	obs       Observer
+	// prop is the propagation model; discFast marks the unit-disc
+	// default, whose neighbor-candidate graph already equals the
+	// deliverable set, so the per-delivery verdict is skipped entirely.
+	prop     Propagation
+	discFast bool
 	// linkLoss holds per-directed-link drop probabilities (dynamics
 	// layer); nil/empty costs nothing on the delivery path.
 	linkLoss map[linkKey]float64
@@ -165,6 +175,11 @@ type Config struct {
 	// LossRate is an independent probability of dropping each otherwise
 	// successful delivery, for transient-loss experiments. Zero disables.
 	LossRate float64
+	// Propagation selects the delivery model; nil selects the unit-disc
+	// model, the paper's channel. Gray-zone models veto individual
+	// deliveries by distance-dependent probability, composing with
+	// LossRate and the per-link loss injection.
+	Propagation Propagation
 }
 
 // DefaultConfig returns the paper's channel: 1 Mbps with a 96 µs PHY
@@ -174,13 +189,19 @@ func DefaultConfig() Config {
 }
 
 // NewChannel creates a channel over the given topology. Stations must be
-// attached for every node before the simulation starts.
-func NewChannel(eng *sim.Engine, topo *topology.Topology, cfg Config) *Channel {
+// attached for every node before the simulation starts. Configuration
+// errors (bad bitrate, loss rate out of range) are returned, not
+// panicked, so a bad scenario spec surfaces as a build failure.
+func NewChannel(eng *sim.Engine, topo *topology.Topology, cfg Config) (*Channel, error) {
 	if cfg.BitRate <= 0 {
-		panic(fmt.Sprintf("phy: bitrate must be positive, got %d", cfg.BitRate))
+		return nil, fmt.Errorf("phy: bitrate must be positive, got %d", cfg.BitRate)
 	}
 	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
-		panic(fmt.Sprintf("phy: loss rate must be in [0,1), got %g", cfg.LossRate))
+		return nil, fmt.Errorf("phy: loss rate must be in [0,1), got %g", cfg.LossRate)
+	}
+	prop := cfg.Propagation
+	if prop == nil {
+		prop = discModel{}
 	}
 	c := &Channel{
 		eng:      eng,
@@ -189,10 +210,15 @@ func NewChannel(eng *sim.Engine, topo *topology.Topology, cfg Config) *Channel {
 		overhead: cfg.PerFrameOverhead,
 		lossRate: cfg.LossRate,
 		stations: make([]*station, topo.NumNodes()),
+		prop:     prop,
+		discFast: IsDisc(prop),
 	}
 	c.neighbors = topo.Neighbors
-	return c
+	return c, nil
 }
+
+// Propagation returns the channel's propagation model.
+func (c *Channel) Propagation() Propagation { return c.prop }
 
 // Attach registers node id with its radio and MAC receiver. The channel
 // subscribes to radio state changes so that a radio powering down
@@ -219,21 +245,22 @@ func (c *Channel) Stats() Stats { return c.stats }
 func (c *Channel) SetObserver(o Observer) { c.obs = o }
 
 // SetLinkLoss sets the drop probability of the directed link src→dst.
-// p <= 0 removes the entry; p must be below 1. The dynamics layer uses
-// this for deterministic link-degradation ramps.
-func (c *Channel) SetLinkLoss(src, dst NodeID, p float64) {
+// p <= 0 removes the entry; p must be below 1 or an error is returned.
+// The dynamics layer uses this for deterministic link-degradation ramps.
+func (c *Channel) SetLinkLoss(src, dst NodeID, p float64) error {
 	if p >= 1 {
-		panic(fmt.Sprintf("phy: link loss must be below 1, got %g", p))
+		return fmt.Errorf("phy: link loss must be below 1, got %g", p)
 	}
 	k := linkKey{src: src, dst: dst}
 	if p <= 0 {
 		delete(c.linkLoss, k)
-		return
+		return nil
 	}
 	if c.linkLoss == nil {
 		c.linkLoss = make(map[linkKey]float64)
 	}
 	c.linkLoss[k] = p
+	return nil
 }
 
 // LinkLoss returns the configured drop probability of src→dst (0 = none).
@@ -411,6 +438,19 @@ func (c *Channel) endTx(tx *activeTx) {
 }
 
 func (c *Channel) deliver(rst *station, f *Frame) {
+	// Propagation verdict first: link quality decides the decode before
+	// any injected loss. The disc default skips this entirely — its
+	// candidate graph equals the deliverable set — and models only draw
+	// rng inside their gray zone, so hard regions stay deterministic.
+	if !c.discFast {
+		d := c.topo.Position(f.Src).Dist(c.topo.Position(rst.id))
+		switch p := c.prop.DeliveryProb(d, c.topo.Range()); {
+		case p >= 1:
+		case p <= 0 || c.eng.Rand().Float64() >= p:
+			c.stats.FadeDrops++
+			return
+		}
+	}
 	if c.lossRate > 0 && c.eng.Rand().Float64() < c.lossRate {
 		c.stats.RandomDrops++
 		return

@@ -27,7 +27,7 @@ func testNet(t *testing.T, n int, cfg Config) (*sim.Engine, *Channel, []*radio.R
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch := NewChannel(eng, topo, cfg)
+	ch, _ := NewChannel(eng, topo, cfg)
 	radios := make([]*radio.Radio, n)
 	rxs := make([]*mockRx, n)
 	for i := 0; i < n; i++ {
@@ -41,7 +41,7 @@ func testNet(t *testing.T, n int, cfg Config) (*sim.Engine, *Channel, []*radio.R
 func TestFrameDuration(t *testing.T) {
 	eng := sim.New(1)
 	topo, _ := topology.FromPositions(geom.LinePlacement(2, 100), 125)
-	ch := NewChannel(eng, topo, Config{BitRate: 1_000_000, PerFrameOverhead: 192 * time.Microsecond})
+	ch, _ := NewChannel(eng, topo, Config{BitRate: 1_000_000, PerFrameOverhead: 192 * time.Microsecond})
 	// 52 bytes at 1 Mbps = 416 µs + 192 µs preamble.
 	if got := ch.FrameDuration(52); got != 608*time.Microsecond {
 		t.Fatalf("FrameDuration(52) = %v, want 608µs", got)
@@ -211,7 +211,7 @@ func TestLossInjection(t *testing.T) {
 	topo, _ := topology.FromPositions(geom.LinePlacement(2, 100), 125)
 	cfg := DefaultConfig()
 	cfg.LossRate = 0.5
-	ch := NewChannel(eng, topo, cfg)
+	ch, _ := NewChannel(eng, topo, cfg)
 	radios := []*radio.Radio{radio.New(eng, radio.Config{}), radio.New(eng, radio.Config{})}
 	rxs := []*mockRx{{}, {}}
 	ch.Attach(0, radios[0], rxs[0])
@@ -269,7 +269,7 @@ func TestWakeMidFrameCannotReceive(t *testing.T) {
 func TestAttachTwicePanics(t *testing.T) {
 	eng := sim.New(1)
 	topo, _ := topology.FromPositions(geom.LinePlacement(2, 100), 125)
-	ch := NewChannel(eng, topo, DefaultConfig())
+	ch, _ := NewChannel(eng, topo, DefaultConfig())
 	r := radio.New(eng, radio.Config{})
 	ch.Attach(0, r, &mockRx{})
 	defer func() {

@@ -100,6 +100,12 @@ type FloodConfig struct {
 	SetupBytes int
 	// Duration bounds the flood simulation.
 	Duration time.Duration
+	// Rounds is the number of flood rounds (default 1). Under
+	// probabilistic propagation a single flood can strand nodes whose
+	// every inbound setup frame faded; in each extra round, spread
+	// evenly across Duration, every committed node rebroadcasts its
+	// level once more so stragglers still join the tree.
+	Rounds int
 	// MACCfg and ChannelCfg default to the standard parameters when zero.
 	MACCfg     mac.Config
 	ChannelCfg phy.Config
@@ -161,17 +167,27 @@ func BuildFlood(seed int64, topo *topology.Topology, root NodeID, cfg FloodConfi
 	if cfg.Jitter <= 0 {
 		cfg.Jitter = 20 * time.Millisecond
 	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
 	macCfg := cfg.MACCfg
 	if macCfg.SlotTime == 0 {
 		macCfg = mac.DefaultConfig()
 	}
 	chCfg := cfg.ChannelCfg
 	if chCfg.BitRate == 0 {
+		// Default the rate parameters but keep the propagation model:
+		// the setup flood must cross the same channel as the run itself.
+		prop := chCfg.Propagation
 		chCfg = phy.DefaultConfig()
+		chCfg.Propagation = prop
 	}
 
 	eng := sim.New(seed)
-	ch := phy.NewChannel(eng, topo, chCfg)
+	ch, err := phy.NewChannel(eng, topo, chCfg)
+	if err != nil {
+		return nil, err
+	}
 	rootPos := topo.Position(root)
 
 	stations := make([]*floodStation, topo.NumNodes())
@@ -213,6 +229,25 @@ func BuildFlood(seed int64, topo *topology.Topology, root NodeID, cfg FloodConfi
 		stations[root].committed = true
 		stations[root].mac.Send(phy.Broadcast, setupMsg{level: 0}, cfg.SetupBytes, nil)
 	})
+	// Retry rounds: everyone already in the tree re-announces, giving
+	// nodes whose first-round frames all faded another chance to hear a
+	// parent. Stations are visited in ID order, so rounds stay
+	// deterministic.
+	for round := 1; round < cfg.Rounds; round++ {
+		at := cfg.Duration * time.Duration(round) / time.Duration(cfg.Rounds)
+		eng.Schedule(at, func() {
+			for _, st := range stations {
+				if !st.committed {
+					continue
+				}
+				lvl := 0
+				if st.id != root {
+					lvl = st.bestLvl + 1
+				}
+				st.mac.Send(phy.Broadcast, setupMsg{level: lvl}, cfg.SetupBytes, nil)
+			}
+		})
+	}
 	eng.Run(cfg.Duration)
 
 	parents := make(map[NodeID]NodeID)

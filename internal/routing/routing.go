@@ -75,6 +75,14 @@ func BuildBFS(topo *topology.Topology, root NodeID, maxDist float64) (*Tree, err
 	t.member[root] = true
 	t.alive[root] = true
 
+	// Under gray-zone propagation the candidate graph reaches past the
+	// nominal range onto links that fade most frames; an idealized
+	// min-hop build over it would systematically pick those longest,
+	// weakest links as tree edges. Restrict the BFS to nominal-range
+	// links — the reliable core the paper's connectivity assumes. With
+	// the unit-disc default the two radii coincide and nothing changes.
+	grayZone := topo.NeighborRange() > topo.Range()
+
 	queue := []NodeID{root}
 	for len(queue) > 0 {
 		cur := queue[0]
@@ -85,6 +93,9 @@ func BuildBFS(topo *topology.Topology, root NodeID, maxDist float64) (*Tree, err
 		sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
 		for _, nb := range nbs {
 			if !eligible[nb] || t.member[nb] {
+				continue
+			}
+			if grayZone && !topo.Position(cur).InRange(topo.Position(nb), topo.Range()) {
 				continue
 			}
 			t.member[nb] = true

@@ -65,7 +65,7 @@ func New(rng *rand.Rand, cfg Config) (*Topology, error) {
 	if err != nil {
 		return nil, err
 	}
-	return FromPositions(pts, cfg.Range)
+	return fromPositions(pts, cfg.Range, cfg.NeighborRange)
 }
 
 func (c Config) validate() error {

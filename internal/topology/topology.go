@@ -18,10 +18,14 @@ import (
 type NodeID int
 
 // Topology is an immutable deployment: positions plus the connectivity
-// graph implied by the communication range.
+// graph implied by the communication range. When a gray-zone propagation
+// model can deliver past the nominal range, the neighbor graph is built
+// from the wider candidate radius (NeighborRange) instead; the channel's
+// per-delivery verdict then decides which candidate links actually work.
 type Topology struct {
 	positions []geom.Point
-	rangeM    float64
+	rangeM    float64 // nominal communication range
+	neighborR float64 // candidate radius (>= rangeM)
 	neighbors [][]NodeID
 }
 
@@ -32,8 +36,13 @@ type Config struct {
 	NumNodes int
 	// AreaSide is the side of the square deployment area in meters.
 	AreaSide float64
-	// Range is the communication range in meters (unit-disc model).
+	// Range is the nominal communication range in meters.
 	Range float64
+	// NeighborRange widens the candidate-neighbor radius beyond Range
+	// for propagation models whose gray zone reaches past the nominal
+	// range (the experiment layer sets it from the model's MaxRange).
+	// Zero or anything at most Range keeps the unit-disc radius.
+	NeighborRange float64
 	// Generator selects the placement shape by registry name ("uniform",
 	// "grid", "clusters", "corridor"); empty selects uniform-random, the
 	// paper's deployment. See New.
@@ -57,7 +66,7 @@ func NewRandom(rng *rand.Rand, cfg Config) (*Topology, error) {
 		return nil, err
 	}
 	pts := geom.UniformPlacement(rng, cfg.NumNodes, cfg.AreaSide)
-	return FromPositions(pts, cfg.Range)
+	return fromPositions(pts, cfg.Range, cfg.NeighborRange)
 }
 
 // FromPositions builds a topology from explicit positions, computing the
@@ -70,16 +79,26 @@ func NewRandom(rng *rand.Rand, cfg Config) (*Topology, error) {
 // lists come out in ascending NodeID order, identical to the all-pairs
 // build, so run results do not depend on the construction algorithm.
 func FromPositions(pts []geom.Point, rangeM float64) (*Topology, error) {
+	return fromPositions(pts, rangeM, 0)
+}
+
+// fromPositions builds the topology with an explicit candidate radius;
+// neighborR <= rangeM falls back to the unit-disc radius.
+func fromPositions(pts []geom.Point, rangeM, neighborR float64) (*Topology, error) {
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("topology: no positions")
 	}
 	if rangeM <= 0 {
 		return nil, fmt.Errorf("topology: range must be positive, got %g", rangeM)
 	}
+	if neighborR < rangeM {
+		neighborR = rangeM
+	}
 	t := &Topology{
 		positions: append([]geom.Point(nil), pts...),
 		rangeM:    rangeM,
-		neighbors: buildNeighbors(pts, rangeM),
+		neighborR: neighborR,
+		neighbors: buildNeighbors(pts, neighborR),
 	}
 	return t, nil
 }
@@ -147,8 +166,12 @@ func buildNeighbors(pts []geom.Point, rangeM float64) [][]NodeID {
 // NumNodes returns the number of nodes in the deployment.
 func (t *Topology) NumNodes() int { return len(t.positions) }
 
-// Range returns the communication range in meters.
+// Range returns the nominal communication range in meters.
 func (t *Topology) Range() float64 { return t.rangeM }
+
+// NeighborRange returns the candidate-neighbor radius in meters; it
+// equals Range unless a gray-zone propagation model widened it.
+func (t *Topology) NeighborRange() float64 { return t.neighborR }
 
 // Position returns the position of node id.
 func (t *Topology) Position(id NodeID) geom.Point { return t.positions[id] }
@@ -165,9 +188,11 @@ func (t *Topology) Neighbors(id NodeID) []NodeID { return t.neighbors[id] }
 // Degree returns the number of neighbors of id.
 func (t *Topology) Degree(id NodeID) int { return len(t.neighbors[id]) }
 
-// Connected reports whether a and b are within communication range.
+// Connected reports whether a and b can hear each other at all: within
+// the candidate-neighbor radius (the nominal range under the unit-disc
+// default, the model's MaxRange under gray-zone propagation).
 func (t *Topology) Connected(a, b NodeID) bool {
-	return a != b && t.positions[a].InRange(t.positions[b], t.rangeM)
+	return a != b && t.positions[a].InRange(t.positions[b], t.neighborR)
 }
 
 // CentralNode returns the node closest to the center of the bounding area,
