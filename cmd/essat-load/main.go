@@ -1,0 +1,308 @@
+// Command essat-load drives an essat-serve instance with concurrent
+// spec requests and reports throughput and latency percentiles — the
+// harness for validating the server's graceful-degradation behavior
+// under real load, and for recording serve-layer numbers alongside the
+// engine benchmarks in the BENCH_*.json reports.
+//
+// Workers pull requests from a shared channel; 429 (shed) and 5xx
+// responses retry with jittered exponential backoff, so the measured
+// numbers describe the closed-loop behavior a polite client sees. A
+// fraction of requests can be deliberately malformed or over-budget to
+// exercise the server's error taxonomy mid-burst.
+//
+// Examples:
+//
+//	essat-load -url http://localhost:8080 -n 200 -c 16
+//	essat-load -n 200 -c 16 -malformed 2 -overbudget 2 -check -expect-shed
+//	essat-load -n 500 -c 32 -benchjson BENCH_after.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultSpec is a mid-sized run (~150k events, tens of milliseconds)
+// so a load test exercises concurrency, not patience. phase_max keeps
+// every query phase inside the short run: with the 10s default most
+// queries would start after the simulation ended and the "run" would
+// degenerate to tree setup.
+const defaultSpec = `{"protocol":"DTS-SS","nodes":40,"area":350,"duration":"10s","workload":{"base_rate":2,"per_class":2,"phase_max":"500ms"}}`
+
+// kind labels what each request deliberately is, so the driver can
+// assert the server answered each class correctly.
+type kind int
+
+const (
+	kindOK kind = iota
+	kindMalformed
+	kindOverBudget
+)
+
+// expected maps each request kind to the status a correct server
+// eventually answers with (after shed retries).
+func (k kind) expected() int {
+	switch k {
+	case kindMalformed:
+		return http.StatusBadRequest
+	case kindOverBudget:
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusOK
+	}
+}
+
+// counters aggregates outcomes across workers.
+type counters struct {
+	ok, badSpec, budget, shed, retries, errors atomic.Uint64
+}
+
+func main() {
+	var (
+		url        = flag.String("url", "http://localhost:8080", "essat-serve base URL")
+		n          = flag.Int("n", 200, "total requests")
+		c          = flag.Int("c", 16, "concurrent workers")
+		specPath   = flag.String("spec", "", "spec file to post (empty = a small built-in DTS-SS run)")
+		malformed  = flag.Int("malformed", 0, "of the N requests, send this many malformed specs (expect 400)")
+		overbudget = flag.Int("overbudget", 0, "of the N requests, send this many with max_events=1000 (expect 422)")
+		retries    = flag.Int("retries", 14, "max retries per request on 429/503/network errors")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
+		benchjson  = flag.String("benchjson", "", "merge the results as a \"serve\" block into this BENCH_*.json file")
+		check      = flag.Bool("check", false, "exit non-zero unless every request eventually got its expected status")
+		expectShed = flag.Bool("expect-shed", false, "with -check, also require at least one 429 (proves shedding engaged)")
+	)
+	flag.Parse()
+
+	if *n <= 0 || *c <= 0 {
+		fatal(fmt.Errorf("n and c must be positive"))
+	}
+	if *malformed+*overbudget > *n {
+		fatal(fmt.Errorf("malformed+overbudget (%d) exceeds n (%d)", *malformed+*overbudget, *n))
+	}
+	spec := defaultSpec
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec = string(data)
+	}
+
+	// Interleave the special requests through the stream instead of
+	// front-loading them, so they land mid-burst.
+	kinds := make(chan kind, *n)
+	for i, m, o := 0, *malformed, *overbudget; i < *n; i++ {
+		switch {
+		case m > 0 && i%3 == 1:
+			kinds <- kindMalformed
+			m--
+		case o > 0 && i%3 == 2:
+			kinds <- kindOverBudget
+			o--
+		default:
+			kinds <- kindOK
+		}
+	}
+	close(kinds)
+
+	client := &http.Client{Timeout: *timeout}
+	var (
+		ctr       counters
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker) + 1))
+			var local []time.Duration
+			for k := range kinds {
+				lat, ok := doRequest(client, rng, *url, spec, k, *retries, &ctr)
+				if ok && k == kindOK {
+					local = append(local, lat)
+				}
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := buildReport(*url, *n, *c, wall, latencies, &ctr)
+	printReport(rep)
+
+	if *benchjson != "" {
+		if err := mergeBench(*benchjson, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serve block merged into %s\n", *benchjson)
+	}
+
+	if *check {
+		want := uint64(*n)
+		got := ctr.ok.Load() + ctr.badSpec.Load() + ctr.budget.Load()
+		if got != want || ctr.errors.Load() > 0 {
+			fatal(fmt.Errorf("check failed: %d/%d requests reached their expected status (%d gave up or mismatched)",
+				got, want, ctr.errors.Load()))
+		}
+		if ctr.badSpec.Load() != uint64(*malformed) || ctr.budget.Load() != uint64(*overbudget) {
+			fatal(fmt.Errorf("check failed: bad_spec=%d (want %d), budget=%d (want %d)",
+				ctr.badSpec.Load(), *malformed, ctr.budget.Load(), *overbudget))
+		}
+		if *expectShed && ctr.shed.Load() == 0 {
+			fatal(fmt.Errorf("check failed: no request was shed (server never returned 429)"))
+		}
+	}
+}
+
+// doRequest sends one request (with retries on shed/unavailable/network
+// failures) and reports the end-to-end latency of the final, successful
+// attempt and whether the terminal status matched the kind's
+// expectation. Terminal mismatches and exhausted retries count into
+// ctr.errors.
+func doRequest(client *http.Client, rng *rand.Rand, baseURL, spec string, k kind, maxRetries int, ctr *counters) (time.Duration, bool) {
+	url := baseURL + "/run"
+	body := spec
+	switch k {
+	case kindMalformed:
+		body = `{"protocol": "DTS-SS", "definitely_not_a_field": `
+	case kindOverBudget:
+		url += "?max_events=1000"
+	}
+
+	backoff := 25 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", strings.NewReader(body))
+		var status int
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			status = resp.StatusCode
+		}
+		lat := time.Since(t0)
+
+		retryable := err != nil || status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+		if status == http.StatusTooManyRequests {
+			ctr.shed.Add(1)
+		}
+		if !retryable {
+			switch status {
+			case http.StatusOK:
+				ctr.ok.Add(1)
+			case http.StatusBadRequest:
+				ctr.badSpec.Add(1)
+			case http.StatusUnprocessableEntity:
+				ctr.budget.Add(1)
+			}
+			if status != k.expected() {
+				ctr.errors.Add(1)
+				return lat, false
+			}
+			return lat, true
+		}
+		if attempt >= maxRetries {
+			ctr.errors.Add(1)
+			return lat, false
+		}
+		ctr.retries.Add(1)
+		// Exponential backoff with full jitter, capped at 2s.
+		sleep := time.Duration(rng.Int63n(int64(backoff) + 1))
+		time.Sleep(sleep)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// report is the JSON "serve" block and the stdout summary.
+type report struct {
+	URL            string  `json:"url"`
+	Requests       int     `json:"requests"`
+	Concurrency    int     `json:"concurrency"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	LatencyP50Ms   float64 `json:"latency_p50_ms"`
+	LatencyP99Ms   float64 `json:"latency_p99_ms"`
+	OK             uint64  `json:"ok"`
+	BadSpec        uint64  `json:"bad_spec"`
+	Budget         uint64  `json:"budget"`
+	Shed           uint64  `json:"shed"`
+	Retries        uint64  `json:"retries"`
+	Errors         uint64  `json:"errors"`
+}
+
+func buildReport(url string, n, c int, wall time.Duration, lats []time.Duration, ctr *counters) report {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	return report{
+		URL:            url,
+		Requests:       n,
+		Concurrency:    c,
+		WallSeconds:    wall.Seconds(),
+		RequestsPerSec: float64(n) / wall.Seconds(),
+		LatencyP50Ms:   pct(0.50),
+		LatencyP99Ms:   pct(0.99),
+		OK:             ctr.ok.Load(),
+		BadSpec:        ctr.badSpec.Load(),
+		Budget:         ctr.budget.Load(),
+		Shed:           ctr.shed.Load(),
+		Retries:        ctr.retries.Load(),
+		Errors:         ctr.errors.Load(),
+	}
+}
+
+func printReport(r report) {
+	fmt.Printf("target          %s\n", r.URL)
+	fmt.Printf("requests        %d over %d workers in %.2fs\n", r.Requests, r.Concurrency, r.WallSeconds)
+	fmt.Printf("throughput      %.1f requests/sec\n", r.RequestsPerSec)
+	fmt.Printf("latency         p50 %.1f ms, p99 %.1f ms (successful runs)\n", r.LatencyP50Ms, r.LatencyP99Ms)
+	fmt.Printf("outcomes        %d ok, %d bad_spec, %d budget; %d shed responses, %d retries, %d gave up\n",
+		r.OK, r.BadSpec, r.Budget, r.Shed, r.Retries, r.Errors)
+}
+
+// mergeBench inserts the report as the "serve" key of an existing
+// BENCH_*.json file (creating the file if absent), preserving whatever
+// else the benchmark harness wrote there.
+func mergeBench(path string, r report) error {
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc["serve"] = r
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "essat-load:", err)
+	os.Exit(1)
+}

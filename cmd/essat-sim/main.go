@@ -20,6 +20,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +62,7 @@ func main() {
 		churn    = flag.Int("churn", 0, "crash N random nodes mid-run, each recovering after a quarter of the run (dynamics layer)")
 		burst    = flag.Duration("burst", 0, "inject a traffic burst of this length at mid-run, reports every 250ms (dynamics layer)")
 		audit    = flag.Bool("audit", false, "run the cross-layer invariant auditor and print the trace digest")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget per run; a run exceeding it aborts with exit code 2 (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -142,8 +145,15 @@ func main() {
 		if seedExplicit || *seeds > 1 || run.Seed == 0 {
 			run.Seed = *seedBase + i
 		}
-		res, err := essat.RunSpec(&run)
+		res, err := essat.RunSpecContext(context.Background(), &run, essat.Budget{WallClock: *timeout})
 		if err != nil {
+			var be *essat.BudgetExceededError
+			if errors.As(err, &be) {
+				// Distinct exit code so harnesses can tell "too slow"
+				// from "invalid scenario".
+				fmt.Fprintln(os.Stderr, "essat-sim:", err)
+				os.Exit(2)
+			}
 			fatal(err)
 		}
 		duty.Add(res.DutyCycle * 100)
@@ -156,15 +166,14 @@ func main() {
 
 	printResult(spec, last, duty, lat, *verbose)
 	// A violation in ANY seed fails the run, not just one in the last
-	// seed whose summary printResult showed.
+	// seed whose summary printResult showed. The diagnostic always goes
+	// to stderr so pipelines capturing only stdout still surface it.
 	if firstViolating != nil {
-		if firstViolating != last {
-			a := firstViolating.Audit
-			fmt.Fprintf(os.Stderr, "essat-sim: seed %d: %d invariant violations (digest %s):\n",
-				firstViolating.Seed, a.Total, a.Digest)
-			for _, v := range a.Violations {
-				fmt.Fprintf(os.Stderr, "  %s\n", v)
-			}
+		a := firstViolating.Audit
+		fmt.Fprintf(os.Stderr, "essat-sim: seed %d: %d invariant violations (digest %s):\n",
+			firstViolating.Seed, a.Total, a.Digest)
+		for _, v := range a.Violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
 		}
 		os.Exit(1)
 	}

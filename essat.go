@@ -49,6 +49,7 @@
 package essat
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"time"
@@ -186,6 +187,35 @@ func DefaultScenario(p Protocol, seed int64) Scenario {
 
 // Run executes a scenario and returns its metrics.
 func Run(sc Scenario) (*Result, error) { return experiment.Run(sc) }
+
+// Budget bounds one run's resource consumption (wall-clock time, event
+// count); the zero value is unlimited. See RunContext.
+type Budget = experiment.Budget
+
+// BudgetExceededError reports a run terminated by its Budget.
+type BudgetExceededError = experiment.BudgetExceededError
+
+// PanicError reports a run whose protocol stack panicked mid-flight,
+// contained at the RunContext boundary. It carries the protocol, seed,
+// stack, and (for spec runs) the spec JSON — everything needed to
+// reproduce the crash.
+type PanicError = experiment.PanicError
+
+// RunContext is Run with cancellation, a resource budget, and panic
+// containment: the run stops early when ctx is done or the budget runs
+// out (returning ctx.Err() or a *BudgetExceededError), and a panicking
+// protocol stack is returned as a *PanicError instead of unwinding into
+// the caller. With a background context and zero budget it is exactly
+// Run.
+func RunContext(ctx context.Context, sc Scenario, b Budget) (*Result, error) {
+	return experiment.RunContext(ctx, sc, b)
+}
+
+// RunSpecContext compiles and runs a declarative spec under ctx and the
+// budget; a contained panic's error carries the marshaled spec.
+func RunSpecContext(ctx context.Context, s *Spec, b Budget) (*Result, error) {
+	return experiment.RunSpecContext(ctx, s, b)
+}
 
 // Sim is a fully built scenario paused at time zero; see Build.
 type Sim = experiment.Sim

@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -208,9 +209,15 @@ func DefaultScenario(p Protocol, seed int64) Scenario {
 // QueryClasses builds the paper's workload: perClass queries in each of
 // three classes whose rates are in the ratio 6:3:2 (Q1 at baseRate Hz),
 // each starting at a random phase in [0, phaseMax).
+//
+// Invalid arguments (non-positive baseRate, perClass, or phaseMax)
+// yield an empty workload, which Build rejects with "no queries
+// configured" — the imperative analogue of the spec layer's validation,
+// and a returned error rather than a panic, so no request path can
+// crash a hosting process.
 func QueryClasses(rng *rand.Rand, baseRate float64, perClass int, phaseMax time.Duration) []query.Spec {
-	if baseRate <= 0 || perClass <= 0 {
-		panic("experiment: baseRate and perClass must be positive")
+	if baseRate <= 0 || perClass <= 0 || phaseMax <= 0 {
+		return nil
 	}
 	ratios := []float64{1, 2, 3} // periods scale as 1, 2, 3 → rates 6:3:2
 	var specs []query.Spec
@@ -307,14 +314,12 @@ type Result struct {
 // Run executes the scenario and collects metrics. It is the composition
 // of the three explicit stages: Build (wire the deployment and protocol
 // stacks, schedule the workload), Sim.Simulate (drain the event queue),
-// and Sim.Collect (aggregate metrics).
+// and Sim.Collect (aggregate metrics). It delegates to RunContext with
+// a background context and no budget, which executes the identical
+// event loop (golden digests are unchanged) while containing a
+// panicking protocol stack into a returned *PanicError.
 func Run(sc Scenario) (*Result, error) {
-	s, err := Build(sc)
-	if err != nil {
-		return nil, err
-	}
-	s.Simulate()
-	return s.Collect(), nil
+	return RunContext(context.Background(), sc, Budget{})
 }
 
 // Sim is one fully built scenario, paused at time zero: engine,

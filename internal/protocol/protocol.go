@@ -95,6 +95,15 @@ func Register(rank int, b Builder) {
 	builders.Register(b.Protocol(), rank, b)
 }
 
+// RegisterUnlisted adds b so it resolves through Lookup (and therefore
+// runs from scenarios and specs) without appearing in All(). Test
+// doubles — like the deliberately panicking protocol the lifecycle
+// tests use to exercise containment — register this way so
+// every-protocol sweeps and CLI listings see only real stacks.
+func RegisterUnlisted(b Builder) {
+	builders.RegisterUnlisted(b.Protocol(), b)
+}
+
 // Lookup returns the builder registered under p.
 func Lookup(p Protocol) (Builder, bool) { return builders.Lookup(p) }
 

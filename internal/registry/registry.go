@@ -16,8 +16,9 @@ type Registry[K ~string, V any] struct {
 }
 
 type entry[V any] struct {
-	rank int
-	v    V
+	rank     int
+	unlisted bool
+	v        V
 }
 
 // New creates an empty registry; kind names the layer in panic
@@ -36,16 +37,33 @@ func (r *Registry[K, V]) Register(name K, rank int, v V) {
 	r.entries[name] = entry[V]{rank: rank, v: v}
 }
 
+// RegisterUnlisted adds v under name like Register, but keeps it out of
+// Names(): the entry resolves through Lookup yet never appears in "all
+// registered X" sweeps. Test doubles (e.g. a deliberately panicking
+// protocol used to exercise containment) register this way so that
+// every-protocol matrix tests and CLI listings stay confined to the
+// real implementations.
+func (r *Registry[K, V]) RegisterUnlisted(name K, v V) {
+	if _, dup := r.entries[name]; dup {
+		panic(fmt.Sprintf("%s: duplicate registration of %q", r.kind, string(name)))
+	}
+	r.entries[name] = entry[V]{unlisted: true, v: v}
+}
+
 // Lookup returns the value registered under name.
 func (r *Registry[K, V]) Lookup(name K) (V, bool) {
 	e, ok := r.entries[name]
 	return e.v, ok
 }
 
-// Names lists every registered name in presentation order.
+// Names lists every listed registered name in presentation order;
+// unlisted entries are omitted.
 func (r *Registry[K, V]) Names() []K {
 	out := make([]K, 0, len(r.entries))
-	for name := range r.entries {
+	for name, e := range r.entries {
+		if e.unlisted {
+			continue
+		}
 		out = append(out, name)
 	}
 	sort.Slice(out, func(i, j int) bool {

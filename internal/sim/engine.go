@@ -16,6 +16,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -424,8 +425,40 @@ func (e *Engine) Step() bool {
 // time if that is later, which cannot happen by construction). Run returns
 // the number of events executed.
 func (e *Engine) Run(until time.Duration) uint64 {
+	n, _ := e.RunChecked(until, 0, nil)
+	return n
+}
+
+// ErrEventBudget is returned by RunChecked when the run fired its
+// maximum number of events before draining the queue.
+var ErrEventBudget = errors.New("sim: event budget exhausted")
+
+// checkMask amortizes RunChecked's interruption polls: check runs once
+// every checkMask+1 fired events, so the per-event cost of being
+// cancellable is one masked compare — at the engine's multi-million
+// events/s throughput the poll granularity is on the order of a
+// millisecond of wall time.
+const checkMask = 1<<12 - 1
+
+// RunChecked is Run with two interruption mechanisms for embedding the
+// engine in a long-running process:
+//
+//   - maxEvents, when non-zero, bounds the number of events this call
+//     may fire; hitting the bound stops the loop exactly there (the
+//     bound is checked per event, deterministically) and returns
+//     ErrEventBudget.
+//   - check, when non-nil, is polled every checkMask+1 events; a
+//     non-nil return stops the loop and is returned verbatim. Callers
+//     use it for context cancellation and wall-clock deadlines.
+//
+// On early termination the virtual clock stays at the last fired
+// event's instant — it is NOT advanced to until — and all remaining
+// events stay queued, so a diagnostic Collect over the partial run sees
+// a consistent (if truncated) simulation. With maxEvents zero and a nil
+// check, RunChecked is exactly Run.
+func (e *Engine) RunChecked(until time.Duration, maxEvents uint64, check func() error) (uint64, error) {
 	if until < e.now {
-		return 0
+		return 0, nil
 	}
 	start := e.processed
 	limit := uint64(until) >> tickShift
@@ -438,11 +471,20 @@ func (e *Engine) Run(until time.Duration) uint64 {
 			break
 		}
 		e.fire(ev)
+		fired := e.processed - start
+		if maxEvents != 0 && fired >= maxEvents {
+			return fired, ErrEventBudget
+		}
+		if check != nil && fired&checkMask == 0 {
+			if err := check(); err != nil {
+				return fired, err
+			}
+		}
 	}
 	if e.now < until {
 		e.now = until
 	}
-	return e.processed - start
+	return e.processed - start, nil
 }
 
 // RunAll executes events until the queue is empty. It is intended for

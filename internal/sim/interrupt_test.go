@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// ticker schedules a self-rechaining event every step, producing an
+// unbounded deterministic workload for interruption tests.
+func startTicker(e *Engine, step time.Duration) {
+	var tick func()
+	tick = func() { e.After(step, tick) }
+	e.After(step, tick)
+}
+
+func TestRunCheckedEventBudget(t *testing.T) {
+	e := New(1)
+	startTicker(e, time.Millisecond)
+	n, err := e.RunChecked(time.Hour, 100, nil)
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("err = %v, want ErrEventBudget", err)
+	}
+	if n != 100 {
+		t.Fatalf("fired %d events, want exactly 100", n)
+	}
+	if e.Processed() != 100 {
+		t.Fatalf("Processed() = %d, want 100", e.Processed())
+	}
+	// The clock must sit at the last fired event, not at until.
+	if want := 100 * time.Millisecond; e.Now() != want {
+		t.Fatalf("Now() = %v, want %v (clock must not jump to until)", e.Now(), want)
+	}
+	// The chain's next event is still queued: the run is resumable.
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunCheckedCancel(t *testing.T) {
+	e := New(1)
+	startTicker(e, time.Microsecond)
+	calls := 0
+	stop := errors.New("stop")
+	n, err := e.RunChecked(time.Hour, 0, func() error {
+		calls++
+		if calls == 3 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want the check's error", err)
+	}
+	// The poll is amortized: the third call lands at 3·(checkMask+1)
+	// fired events.
+	if want := uint64(3 * (checkMask + 1)); n != want {
+		t.Fatalf("fired %d events before stop, want %d", n, want)
+	}
+	if calls != 3 {
+		t.Fatalf("check called %d times, want 3", calls)
+	}
+}
+
+func TestRunCheckedCheckAmortization(t *testing.T) {
+	e := New(1)
+	startTicker(e, time.Millisecond)
+	calls := 0
+	n, err := e.RunChecked(10*time.Second, 10_000, func() error { calls++; return nil })
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("err = %v, want ErrEventBudget", err)
+	}
+	want := int(n / (checkMask + 1))
+	if calls != want {
+		t.Fatalf("check called %d times over %d events, want %d (every %d events)",
+			calls, n, want, checkMask+1)
+	}
+}
+
+// TestRunCheckedNilMatchesRun pins RunChecked(until, 0, nil) to Run:
+// same events fired, same clock, for the same seeded workload.
+func TestRunCheckedNilMatchesRun(t *testing.T) {
+	workload := func(e *Engine) {
+		// A randomized but seed-deterministic event chain that
+		// occasionally branches, bounded to a few thousand events.
+		scheduled := 0
+		var spawn func()
+		spawn = func() {
+			if e.Now() > 500*time.Millisecond || scheduled > 5000 {
+				return
+			}
+			kids := 1
+			if e.Rand().Intn(8) == 0 {
+				kids = 2
+			}
+			for i := 0; i < kids; i++ {
+				scheduled++
+				e.After(time.Duration(e.Rand().Intn(10_000)+1)*time.Microsecond, spawn)
+			}
+		}
+		e.After(0, spawn)
+	}
+	a, b := New(7), New(7)
+	workload(a)
+	workload(b)
+	na := a.Run(time.Second)
+	nb, err := b.RunChecked(time.Second, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb || a.Now() != b.Now() || a.Pending() != b.Pending() {
+		t.Fatalf("Run (%d events, now %v, pending %d) diverged from RunChecked (%d, %v, %d)",
+			na, a.Now(), a.Pending(), nb, b.Now(), b.Pending())
+	}
+}
+
+// TestRunCheckedResume verifies that a budget-terminated run can be
+// driven to completion by a later Run and lands in the same state as an
+// uninterrupted run.
+func TestRunCheckedResume(t *testing.T) {
+	a, b := New(3), New(3)
+	startTicker(a, time.Millisecond)
+	startTicker(b, time.Millisecond)
+
+	na := a.Run(time.Second)
+
+	var nb uint64
+	for {
+		n, err := b.RunChecked(time.Second, 64, nil)
+		nb += n
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrEventBudget) {
+			t.Fatal(err)
+		}
+	}
+	if na != nb || a.Now() != b.Now() {
+		t.Fatalf("resumed run (%d events, now %v) diverged from plain run (%d, %v)",
+			nb, b.Now(), na, a.Now())
+	}
+}
