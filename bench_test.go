@@ -185,3 +185,33 @@ func BenchmarkLargeRun(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkHugeRun measures the 10000-node scale tier (testdata/
+// huge.json, shortened) on a reused arena — the repeated-spec sweep the
+// per-run memory arenas target: after the first iteration warms the
+// slabs and the deployment cache, later iterations reset rather than
+// reallocate, so allocs/op reports the steady-state floor. The same
+// scenario backs `essat-bench -huge`, which records it in the
+// BENCH_*.json `huge` section.
+func BenchmarkHugeRun(b *testing.B) {
+	spec, err := essat.LoadSpec("testdata/huge.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Duration = essat.Dur(5 * time.Second)
+	spec.MeasureFrom = nil
+	arena := essat.NewArenaWithCache(essat.NewDeployCache(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := *spec
+		res, err := essat.RunSpecWith(arena, &run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Events)/5, "events/simsec")
+			b.ReportMetric(float64(res.TreeSize), "tree_members")
+		}
+	}
+}

@@ -38,6 +38,9 @@ func (f *figList) Set(v string) error {
 }
 
 // figBench is one figure's throughput record in the -benchjson output.
+// AllocsPerRun and BytesPerRun are process-wide heap-allocation deltas
+// (runtime.MemStats Mallocs / TotalAlloc) divided by the figure's run
+// count — the number the arena work drives down.
 type figBench struct {
 	ID           string  `json:"id"`
 	WallSeconds  float64 `json:"wall_seconds"`
@@ -46,11 +49,14 @@ type figBench struct {
 	SimSeconds   float64 `json:"sim_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	SimSecPerSec float64 `json:"sim_seconds_per_sec"`
+	AllocsPerRun float64 `json:"allocs_per_run"`
+	BytesPerRun  float64 `json:"bytes_per_run"`
 }
 
-// scaleBench records the -scale scenario's throughput: one large run,
+// scaleBench records a scale-tier scenario's throughput: one timed run,
 // with the deterministic Build stage (topology spatial hash, flood tree,
-// per-node stacks) timed separately from the event-loop drain.
+// per-node stacks) timed separately from the event-loop drain, followed
+// by a repeated-spec sweep measuring steady-state allocations per run.
 type scaleBench struct {
 	Scenario     string  `json:"scenario"`
 	Nodes        int     `json:"nodes"`
@@ -61,6 +67,9 @@ type scaleBench struct {
 	SimSeconds   float64 `json:"sim_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	SimSecPerSec float64 `json:"sim_seconds_per_sec"`
+	SweepRuns    int     `json:"sweep_runs"`
+	AllocsPerRun float64 `json:"allocs_per_run"`
+	BytesPerRun  float64 `json:"bytes_per_run"`
 }
 
 // benchReport is the top-level -benchjson document.
@@ -72,9 +81,20 @@ type benchReport struct {
 	DurationSec float64     `json:"run_duration_seconds"`
 	Seeds       int         `json:"seeds"`
 	Nodes       int         `json:"nodes"`
+	Arena       bool        `json:"arena"` // per-worker arenas + deployment cache enabled
 	Figures     []figBench  `json:"figures"`
 	Scale       *scaleBench `json:"scale,omitempty"`
+	Huge        *scaleBench `json:"huge,omitempty"`
 	Total       figBench    `json:"total"`
+}
+
+// memCounters snapshots the process's cumulative heap-allocation
+// counters (count and bytes). Both are monotonic, so deltas across a
+// workload are exact regardless of garbage collection.
+func memCounters() (mallocs, bytes uint64) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Mallocs, m.TotalAlloc
 }
 
 func main() {
@@ -90,6 +110,9 @@ func main() {
 		seed     = flag.Int64("seed", 0, "base seed; every point runs seeds seed..seed+seeds-1 (0 = 1, the paper's range)")
 		outJSON  = flag.String("benchjson", "", "write a throughput report (wall time, events/sec, sim-seconds/sec) to this file")
 		scale    = flag.String("scale", "", "also run this scenario spec once (e.g. testdata/large.json) and record a 'scale' section in the report")
+		huge     = flag.String("huge", "", "also run this 10k-node scenario spec (e.g. testdata/huge.json) and record a 'huge' section in the report")
+		sweep    = flag.Int("sweep", 5, "repeated-spec sweep length for the -scale/-huge sections (steady-state allocs/run measurement)")
+		arena    = flag.Bool("arena", true, "reuse per-worker memory arenas and the shared deployment cache across runs (-arena=false measures the pre-arena path; results are identical)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 		audit    = flag.Bool("audit", false, "run every scenario under the cross-layer invariant auditor (results unchanged; violations abort)")
@@ -114,6 +137,7 @@ func main() {
 	o.RadioProfile = *radioPr
 	o.BaseSeed = *seed
 	o.Audit = *audit
+	o.DisableArena = !*arena
 
 	if len(figs) == 0 {
 		figs = figList{"2", "3", "4", "5", "6", "7", "8", "9", "overhead"}
@@ -142,6 +166,7 @@ func main() {
 		DurationSec: o.Duration.Seconds(),
 		Seeds:       o.Seeds,
 		Nodes:       o.Nodes,
+		Arena:       *arena,
 	}
 
 	start := time.Now()
@@ -149,6 +174,7 @@ func main() {
 		var fig *essat.Figure
 		var err error
 		essat.ResetRunCounters()
+		m0, b0 := memCounters()
 		figStart := time.Now()
 		// Accept both the short form ("3") and the catalog ID ("fig3")
 		// printed by essat-sim -list.
@@ -189,7 +215,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		report.Figures = append(report.Figures, throughput(fig.ID, time.Since(figStart)))
+		fb := throughput(fig.ID, time.Since(figStart))
+		m1, b1 := memCounters()
+		if fb.Runs > 0 {
+			fb.AllocsPerRun = float64(m1-m0) / float64(fb.Runs)
+			fb.BytesPerRun = float64(b1-b0) / float64(fb.Runs)
+		}
+		report.Figures = append(report.Figures, fb)
 		essat.PrintFigure(os.Stdout, fig)
 		fmt.Println()
 	}
@@ -197,24 +229,40 @@ func main() {
 	fmt.Printf("total wall time: %v\n", wall.Round(time.Second))
 
 	if *scale != "" {
-		sb, err := runScale(*scale)
+		sb, err := runScale(*scale, *arena, *sweep)
 		if err != nil {
 			fatal(err)
 		}
 		report.Scale = sb
-		fmt.Printf("scale tier (%s): %d nodes, build %.2fs, run %.2fs, %.0f events/sec\n",
-			sb.Scenario, sb.Nodes, sb.BuildSeconds, sb.RunSeconds, sb.EventsPerSec)
+		fmt.Printf("scale tier (%s): %d nodes, build %.2fs, run %.2fs, %.0f events/sec, %.0f allocs/run over %d sweep runs\n",
+			sb.Scenario, sb.Nodes, sb.BuildSeconds, sb.RunSeconds, sb.EventsPerSec, sb.AllocsPerRun, sb.SweepRuns)
+	}
+	if *huge != "" {
+		sb, err := runScale(*huge, *arena, *sweep)
+		if err != nil {
+			fatal(err)
+		}
+		report.Huge = sb
+		fmt.Printf("huge tier (%s): %d nodes, build %.2fs, run %.2fs, %.0f events/sec, %.0f allocs/run over %d sweep runs\n",
+			sb.Scenario, sb.Nodes, sb.BuildSeconds, sb.RunSeconds, sb.EventsPerSec, sb.AllocsPerRun, sb.SweepRuns)
 	}
 
 	if *outJSON != "" {
 		report.Total = figBench{ID: "total", WallSeconds: wall.Seconds()}
+		var totalAllocs, totalBytes float64
 		for _, fb := range report.Figures {
 			report.Total.Runs += fb.Runs
 			report.Total.Events += fb.Events
 			report.Total.SimSeconds += fb.SimSeconds
+			totalAllocs += fb.AllocsPerRun * float64(fb.Runs)
+			totalBytes += fb.BytesPerRun * float64(fb.Runs)
 		}
 		report.Total.EventsPerSec = float64(report.Total.Events) / wall.Seconds()
 		report.Total.SimSecPerSec = report.Total.SimSeconds / wall.Seconds()
+		if report.Total.Runs > 0 {
+			report.Total.AllocsPerRun = totalAllocs / float64(report.Total.Runs)
+			report.Total.BytesPerRun = totalBytes / float64(report.Total.Runs)
+		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -247,10 +295,15 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// runScale executes the scale-tier scenario once, timing the build stage
-// (topology, tree, per-node stacks) separately from the event-loop drain.
-// This is the same workload as the repo's BenchmarkLargeRun.
-func runScale(path string) (*scaleBench, error) {
+// runScale executes a scale-tier scenario once, timing the build stage
+// (topology, tree, per-node stacks) separately from the event-loop
+// drain — the same workload as the repo's BenchmarkLargeRun /
+// BenchmarkHugeRun — then repeats the identical spec sweepRuns times,
+// recording steady-state heap allocations per run. With useArena the
+// sweep reuses one arena (the first, timed run warms it), which is the
+// repeated-spec sweep the arenas were built for; without, every run
+// allocates from scratch.
+func runScale(path string, useArena bool, sweepRuns int) (*scaleBench, error) {
 	spec, err := essat.LoadSpec(path)
 	if err != nil {
 		return nil, err
@@ -259,8 +312,12 @@ func runScale(path string) (*scaleBench, error) {
 	if err != nil {
 		return nil, err
 	}
+	var a *essat.Arena
+	if useArena {
+		a = essat.NewArenaWithCache(essat.NewDeployCache(0))
+	}
 	buildStart := time.Now()
-	s, err := essat.Build(sc)
+	s, err := essat.BuildWith(a, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +326,7 @@ func runScale(path string) (*scaleBench, error) {
 	s.Simulate()
 	res := s.Collect()
 	runWall := time.Since(runStart)
-	return &scaleBench{
+	sb := &scaleBench{
 		Scenario:     path,
 		Nodes:        sc.Topology.NumNodes,
 		TreeSize:     res.TreeSize,
@@ -279,7 +336,20 @@ func runScale(path string) (*scaleBench, error) {
 		SimSeconds:   sc.Duration.Seconds(),
 		EventsPerSec: float64(res.Events) / runWall.Seconds(),
 		SimSecPerSec: sc.Duration.Seconds() / runWall.Seconds(),
-	}, nil
+	}
+	if sweepRuns > 0 {
+		m0, b0 := memCounters()
+		for i := 0; i < sweepRuns; i++ {
+			if _, err := essat.RunWith(a, sc); err != nil {
+				return nil, err
+			}
+		}
+		m1, b1 := memCounters()
+		sb.SweepRuns = sweepRuns
+		sb.AllocsPerRun = float64(m1-m0) / float64(sweepRuns)
+		sb.BytesPerRun = float64(b1-b0) / float64(sweepRuns)
+	}
+	return sb, nil
 }
 
 // throughput snapshots the run counters accumulated since the last reset

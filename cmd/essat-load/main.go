@@ -144,6 +144,7 @@ func main() {
 	wall := time.Since(start)
 
 	rep := buildReport(*url, *n, *c, wall, latencies, &ctr)
+	fetchCacheStats(client, *url, &rep)
 	printReport(rep)
 
 	if *benchjson != "" {
@@ -245,6 +246,29 @@ type report struct {
 	Shed           uint64  `json:"shed"`
 	Retries        uint64  `json:"retries"`
 	Errors         uint64  `json:"errors"`
+	// CacheHits and CacheMisses are the server's deployment-cache
+	// counters after the burst (fetched from /readyz): hits are runs
+	// that skipped topology placement and tree construction.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// fetchCacheStats reads the server's deployment-cache counters off
+// /readyz. Best-effort: a fetch failure leaves the counters zero (the
+// load numbers themselves are unaffected).
+func fetchCacheStats(client *http.Client, baseURL string, r *report) {
+	resp, err := client.Get(baseURL + "/readyz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var st struct {
+		CacheHits   uint64 `json:"cache_hits"`
+		CacheMisses uint64 `json:"cache_misses"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&st) == nil {
+		r.CacheHits, r.CacheMisses = st.CacheHits, st.CacheMisses
+	}
 }
 
 func buildReport(url string, n, c int, wall time.Duration, lats []time.Duration, ctr *counters) report {
@@ -280,6 +304,7 @@ func printReport(r report) {
 	fmt.Printf("latency         p50 %.1f ms, p99 %.1f ms (successful runs)\n", r.LatencyP50Ms, r.LatencyP99Ms)
 	fmt.Printf("outcomes        %d ok, %d bad_spec, %d budget; %d shed responses, %d retries, %d gave up\n",
 		r.OK, r.BadSpec, r.Budget, r.Shed, r.Retries, r.Errors)
+	fmt.Printf("deploy cache    %d hits, %d misses (server lifetime)\n", r.CacheHits, r.CacheMisses)
 }
 
 // mergeBench inserts the report as the "serve" key of an existing

@@ -265,6 +265,39 @@ func LoadSpec(path string) (*Spec, error) { return experiment.LoadSpec(path) }
 // RunSpec compiles and runs a declarative spec.
 func RunSpec(s *Spec) (*Result, error) { return experiment.RunSpec(s) }
 
+// Arena is reusable per-run state for repeated scenario execution: one
+// engine whose event freelist and typed memory pools are reset — not
+// freed — between runs, plus an optional shared deployment cache.
+// Results are byte-identical with or without one; an arena changes
+// where memory comes from, never what a run computes. Single-threaded:
+// use one Arena per goroutine, sharing a DeployCache.
+type Arena = experiment.Arena
+
+// DeployCache is a bounded, concurrency-safe LRU cache of built
+// deployments (topology + routing-tree template) keyed by the scenario
+// fields that determine placement.
+type DeployCache = experiment.DeployCache
+
+// NewArena returns an arena without a deployment cache.
+func NewArena() *Arena { return experiment.NewArena() }
+
+// NewArenaWithCache returns an arena serving deployments from cache;
+// several arenas may share one cache.
+func NewArenaWithCache(c *DeployCache) *Arena { return experiment.NewArenaWithCache(c) }
+
+// NewDeployCache returns a deployment cache bounded to max entries
+// (<= 0 selects the default size).
+func NewDeployCache(max int) *DeployCache { return experiment.NewDeployCache(max) }
+
+// BuildWith is Build executing on a reusable arena.
+func BuildWith(a *Arena, sc Scenario) (*Sim, error) { return experiment.BuildWith(a, sc) }
+
+// RunWith is Run executing on a reusable arena; a nil arena is plain Run.
+func RunWith(a *Arena, sc Scenario) (*Result, error) { return experiment.RunWith(a, sc) }
+
+// RunSpecWith compiles and runs a declarative spec on a reusable arena.
+func RunSpecWith(a *Arena, s *Spec) (*Result, error) { return experiment.RunSpecWith(a, s) }
+
 // FigureInfo names one figure driver; see FigureCatalog.
 type FigureInfo = experiment.FigureInfo
 

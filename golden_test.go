@@ -85,6 +85,10 @@ func goldenSuite() map[string][]goldenRun {
 	suite["example.json"] = []goldenRun{{label: "as-checked-in", build: fromFile("testdata/example.json", 0)}}
 	// The 1000-node tier, shortened exactly like the CI smoke run.
 	suite["large.json"] = []goldenRun{{label: "5s-smoke", build: fromFile("testdata/large.json", 5*time.Second)}}
+	// The 10000-node tier, shortened exactly like its CI smoke run. Five
+	// simulated seconds is past the first query phases, so real traffic
+	// (tens of thousands of frames across a rank-~47 tree) is pinned.
+	suite["huge.json"] = []goldenRun{{label: "5s-smoke", build: fromFile("testdata/huge.json", 5*time.Second)}}
 	// The lossy-channel tier: log-normal shadowing links on CC2420
 	// hardware, pinning the gray-zone delivery draws, the widened
 	// candidate graph, the flood retry rounds, and the profile-derived
@@ -169,6 +173,37 @@ func TestGoldenTraceDigests(t *testing.T) {
 	}
 
 	if *updateGolden {
+		// Diff against the previous file first: -update-golden's log must
+		// say exactly which digests an intentional change moved, so the
+		// commit can justify each one (and an accidental full rewrite is
+		// obvious immediately).
+		prev := map[string]map[string]string{}
+		if data, err := os.ReadFile(goldenPath); err == nil {
+			if err := json.Unmarshal(data, &prev); err != nil {
+				t.Logf("existing %s is unreadable (%v); treating every digest as new", goldenPath, err)
+			}
+		}
+		changed := 0
+		for name, runs := range got {
+			for label, digest := range runs {
+				switch old := prev[name][label]; {
+				case old == "":
+					changed++
+					t.Logf("new digest   %s/%s: %s", name, label, digest)
+				case old != digest:
+					changed++
+					t.Logf("changed      %s/%s: %s -> %s", name, label, old, digest)
+				}
+			}
+		}
+		for name, runs := range prev {
+			for label := range runs {
+				if _, ok := got[name][label]; !ok {
+					changed++
+					t.Logf("removed      %s/%s (was %s)", name, label, prev[name][label])
+				}
+			}
+		}
 		buf, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
 			t.Fatal(err)
@@ -177,7 +212,7 @@ func TestGoldenTraceDigests(t *testing.T) {
 		if err := os.WriteFile(goldenPath, buf, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("rewrote %s with %d suites", goldenPath, len(got))
+		t.Logf("rewrote %s with %d suites (%d digests added/changed/removed)", goldenPath, len(got), changed)
 		return
 	}
 

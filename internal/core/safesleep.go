@@ -87,8 +87,10 @@ type SafeSleepOptions struct {
 	// delay".
 	WakeAhead time.Duration
 	// MACBusy reports whether the MAC still has unfinished work; SS never
-	// sleeps a node with pending traffic.
-	MACBusy func() bool
+	// sleeps a node with pending traffic. Nil means "never busy". An
+	// interface rather than a func so the standard wiring (the node's
+	// MAC) costs no per-node closure; wrap a func with BusyFunc.
+	MACBusy BusyReporter
 	// Disabled turns SS into a no-op (always-on node): used for SPAN
 	// backbone nodes and as an ablation.
 	Disabled bool
@@ -96,6 +98,18 @@ type SafeSleepOptions struct {
 	// the schedule (the paper's query setup slot).
 	AwakeUntil time.Duration
 }
+
+// BusyReporter reports pending work that must keep the radio on.
+// *mac.MAC implements it.
+type BusyReporter interface {
+	Busy() bool
+}
+
+// BusyFunc adapts a plain func to BusyReporter (tests, ad-hoc wiring).
+type BusyFunc func() bool
+
+// Busy implements BusyReporter.
+func (f BusyFunc) Busy() bool { return f() }
 
 // sendEntry and recvEntry are the rows of SafeSleep's expectation tables.
 type sendEntry struct {
@@ -127,11 +141,24 @@ type SafeSleep struct {
 
 	wakeEv *sim.Event
 	wakeAt time.Duration
-	wakeFn func() // prebound wake-up callback
 	obs    SleepObserver
 	obsID  query.NodeID
 	stats  SleepStats
 }
+
+// Event dispatchers shared by every scheduler: the events carry the
+// SafeSleep as their argument instead of per-node closures.
+func ssWake(x any) {
+	ss := x.(*SafeSleep)
+	ss.wakeEv = nil
+	ss.radio.TurnOn()
+}
+
+func ssCheck(x any) { x.(*SafeSleep).CheckState() }
+
+// macNeverBusy is the default BusyReporter: a node with no MAC wired in
+// never has pending traffic.
+var macNeverBusy BusyReporter = BusyFunc(func() bool { return false })
 
 // NewSafeSleep creates a Safe Sleep scheduler driving the given radio.
 func NewSafeSleep(eng *sim.Engine, r *radio.Radio, opts SafeSleepOptions) *SafeSleep {
@@ -142,29 +169,39 @@ func NewSafeSleep(eng *sim.Engine, r *radio.Radio, opts SafeSleepOptions) *SafeS
 		opts.WakeAhead = r.Config().TurnOnDelay
 	}
 	if opts.MACBusy == nil {
-		opts.MACBusy = func() bool { return false }
+		opts.MACBusy = macNeverBusy
 	}
-	ss := &SafeSleep{
+	ss := sim.ArenaGrab[SafeSleep](eng, "core.safesleep")
+	*ss = SafeSleep{
 		eng:   eng,
 		radio: r,
 		opts:  opts,
-	}
-	ss.wakeFn = func() {
-		ss.wakeEv = nil
-		ss.radio.TurnOn()
+		// Seed the expectation tables with arena-backed capacity. Nodes
+		// track a handful of queries and children; appends that outgrow
+		// these fall back to the heap, trading a rare allocation for
+		// exact reuse in the common shape.
+		nextSend: sim.ArenaSlice[sendEntry](eng, "core.ss.send", 4)[:0],
+		nextRecv: sim.ArenaSlice[recvEntry](eng, "core.ss.recv", 16)[:0],
 	}
 	// Re-evaluate whenever the radio settles into Idle: after a wake-up
 	// (expectations may have vanished while asleep), after a transmission,
 	// and — critically — after overhearing a neighbor's frame addressed to
 	// someone else, which would otherwise leave the node awake until its
 	// next scheduled event.
-	r.Subscribe(func(old, new radio.State) {
-		if new == radio.Idle {
-			ss.CheckState()
-		}
-	})
+	r.SubscribeState(ss)
 	return ss
 }
+
+// RadioStateChanged implements radio.StateListener: Safe Sleep
+// re-evaluates whenever the radio settles into Idle.
+func (ss *SafeSleep) RadioStateChanged(old, new radio.State) {
+	if new == radio.Idle {
+		ss.CheckState()
+	}
+}
+
+// MACIdle implements mac.IdleSink: re-evaluate once the MAC drains.
+func (ss *SafeSleep) MACIdle() { ss.CheckState() }
 
 // Stats returns a copy of the scheduler's counters.
 func (ss *SafeSleep) Stats() SleepStats { return ss.stats }
@@ -191,7 +228,7 @@ func (ss *SafeSleep) HoldAwake(until time.Duration) {
 	}
 	ss.ensureAwake()
 	// Re-evaluate when the hold expires so the node can sleep again.
-	ss.eng.Schedule(until, ss.CheckState)
+	ss.eng.ScheduleArg(until, ssCheck, ss)
 }
 
 // findSend returns the index of q's row in nextSend, or -1.
@@ -324,7 +361,7 @@ func (ss *SafeSleep) CheckState() {
 	if now < ss.opts.AwakeUntil {
 		return // inside the setup slot: stay on
 	}
-	if ss.opts.MACBusy() {
+	if ss.opts.MACBusy.Busy() {
 		return // unfinished MAC work (queued frames or an owed ACK)
 	}
 	switch ss.radio.State() {
@@ -371,5 +408,5 @@ func (ss *SafeSleep) scheduleWake(twakeup time.Duration) {
 		return
 	}
 	ss.wakeAt = at
-	ss.wakeEv = ss.eng.Schedule(at, ss.wakeFn)
+	ss.wakeEv = ss.eng.ScheduleArg(at, ssWake, ss)
 }

@@ -84,7 +84,7 @@ func TestEarliestOfSendAndReceiveWins(t *testing.T) {
 func TestMACBusyBlocksSleep(t *testing.T) {
 	busy := true
 	eng, r, ss := newSS(t, radio.Config{}, SafeSleepOptions{
-		MACBusy: func() bool { return busy },
+		MACBusy: BusyFunc(func() bool { return busy }),
 	})
 	ss.UpdateNextSend(1, 500*time.Millisecond)
 	if r.State() != radio.Idle {

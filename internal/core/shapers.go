@@ -4,7 +4,31 @@ import (
 	"time"
 
 	"github.com/essat/essat/internal/query"
+	"github.com/essat/essat/internal/sim"
 )
+
+// specFor returns the spec with the given ID, or a zero Spec if absent —
+// the same tolerance for lookups after removal that a map gives. Shapers
+// track a handful of queries, so a linear scan over an arena-backed slice
+// beats a per-shaper map (and its per-run allocation).
+func specFor(specs []query.Spec, q query.ID) query.Spec {
+	for i := range specs {
+		if specs[i].ID == q {
+			return specs[i]
+		}
+	}
+	return query.Spec{}
+}
+
+// dropSpec removes the spec with the given ID, preserving order.
+func dropSpec(specs []query.Spec, q query.ID) []query.Spec {
+	for i := range specs {
+		if specs[i].ID == q {
+			return append(specs[:i], specs[i+1:]...)
+		}
+	}
+	return specs
+}
 
 // ShaperStats counts traffic-shaper events.
 type ShaperStats struct {
@@ -33,7 +57,7 @@ type NTS struct {
 	// value selects.
 	TimeoutDeadline time.Duration
 
-	specs map[query.ID]query.Spec
+	specs []query.Spec
 	stats ShaperStats
 }
 
@@ -41,7 +65,10 @@ var _ query.Shaper = (*NTS)(nil)
 
 // NewNTS creates the no-shaping policy bound to env and ss.
 func NewNTS(env Env, ss *SafeSleep) *NTS {
-	return &NTS{env: env, ss: ss, specs: make(map[query.ID]query.Spec)}
+	n := sim.ArenaGrab[NTS](ss.eng, "core.nts")
+	*n = NTS{env: env, ss: ss,
+		specs: sim.ArenaSlice[query.Spec](ss.eng, "core.nts.specs", 2)[:0]}
+	return n
 }
 
 // Name implements query.Shaper.
@@ -52,7 +79,7 @@ func (n *NTS) Stats() ShaperStats { return n.stats }
 
 // QueryAdded implements query.Shaper.
 func (n *NTS) QueryAdded(spec query.Spec, children []query.NodeID) {
-	n.specs[spec.ID] = spec
+	n.specs = append(n.specs, spec)
 	if !n.env.IsRoot() {
 		n.ss.UpdateNextSend(spec.ID, spec.IntervalStart(0))
 	}
@@ -68,7 +95,7 @@ func (n *NTS) ReportReady(q query.ID, k int, readyAt time.Duration) (time.Durati
 
 // ReportSent implements query.Shaper: snext advances to the next period.
 func (n *NTS) ReportSent(q query.ID, k int) {
-	n.ss.UpdateNextSend(q, n.specs[q].IntervalStart(k+1))
+	n.ss.UpdateNextSend(q, specFor(n.specs, q).IntervalStart(k+1))
 }
 
 // ReportFailed implements query.Shaper: the schedule is query-derived,
@@ -77,21 +104,22 @@ func (n *NTS) ReportFailed(q query.ID, k int) { n.ReportSent(q, k) }
 
 // ReportReceived implements query.Shaper: rnext(c) = φ + (k+1)·P.
 func (n *NTS) ReportReceived(q query.ID, c query.NodeID, k int, phase time.Duration) {
-	n.ss.UpdateNextReceive(q, c, n.specs[q].IntervalStart(k+1))
+	n.ss.UpdateNextReceive(q, c, specFor(n.specs, q).IntervalStart(k+1))
 }
 
 // IntervalClosed advances rnext for children that never reported, so a
 // lost report cannot pin the radio on forever.
 func (n *NTS) IntervalClosed(q query.ID, k int, missing []query.NodeID) {
+	spec := specFor(n.specs, q)
 	for _, c := range missing {
-		n.ss.UpdateNextReceive(q, c, n.specs[q].IntervalStart(k+1))
+		n.ss.UpdateNextReceive(q, c, spec.IntervalStart(k+1))
 	}
 }
 
 // CollectDeadline implements the §4.3 NTS timeout tTO(d) = (d+1)·D/M
 // after the interval start.
 func (n *NTS) CollectDeadline(q query.ID, k int) time.Duration {
-	spec := n.specs[q]
+	spec := specFor(n.specs, q)
 	d := n.env.Rank()
 	m := n.env.MaxRank()
 	if m < 1 {
@@ -106,7 +134,7 @@ func (n *NTS) CollectDeadline(q query.ID, k int) time.Duration {
 
 // QueryRemoved implements query.Shaper.
 func (n *NTS) QueryRemoved(q query.ID) {
-	delete(n.specs, q)
+	n.specs = dropSpec(n.specs, q)
 	n.ss.RemoveQuery(q)
 }
 
@@ -148,7 +176,7 @@ type STS struct {
 	// shaping guarantee collapses into MAC retries).
 	NoBuffering bool
 
-	specs map[query.ID]query.Spec
+	specs []query.Spec
 	stats ShaperStats
 }
 
@@ -156,13 +184,15 @@ var _ query.Shaper = (*STS)(nil)
 
 // NewSTS creates a static traffic shaper. deadline <= 0 selects D = P.
 func NewSTS(env Env, ss *SafeSleep, deadline time.Duration) *STS {
-	return &STS{
+	s := sim.ArenaGrab[STS](ss.eng, "core.sts")
+	*s = STS{
 		env:          env,
 		ss:           ss,
 		Deadline:     deadline,
 		TimeoutSlack: 10 * time.Millisecond,
-		specs:        make(map[query.ID]query.Spec),
+		specs:        sim.ArenaSlice[query.Spec](ss.eng, "core.sts.specs", 2)[:0],
 	}
+	return s
 }
 
 // Name implements query.Shaper.
@@ -175,7 +205,7 @@ func (s *STS) Stats() ShaperStats { return s.stats }
 func (s *STS) local(q query.ID) time.Duration {
 	d := s.Deadline
 	if d <= 0 {
-		d = s.specs[q].Period
+		d = specFor(s.specs, q).Period
 	}
 	m := s.env.MaxRank()
 	if m < 1 {
@@ -188,7 +218,7 @@ func (s *STS) local(q query.ID) time.Duration {
 // Rank is read dynamically so STS adapts (at recomputation cost, §4.3)
 // after topology changes.
 func (s *STS) sendTime(q query.ID, k int) time.Duration {
-	return s.specs[q].IntervalStart(k) + time.Duration(s.env.Rank())*s.local(q)
+	return specFor(s.specs, q).IntervalStart(k) + time.Duration(s.env.Rank())*s.local(q)
 }
 
 // recvTime returns r(k,c) = the child's expected send time, computed from
@@ -199,12 +229,12 @@ func (s *STS) recvTime(q query.ID, k int, c query.NodeID) time.Duration {
 	if cr < 0 {
 		cr = 0
 	}
-	return s.specs[q].IntervalStart(k) + time.Duration(cr)*s.local(q)
+	return specFor(s.specs, q).IntervalStart(k) + time.Duration(cr)*s.local(q)
 }
 
 // QueryAdded implements query.Shaper.
 func (s *STS) QueryAdded(spec query.Spec, children []query.NodeID) {
-	s.specs[spec.ID] = spec
+	s.specs = append(s.specs, spec)
 	if !s.env.IsRoot() {
 		s.ss.UpdateNextSend(spec.ID, s.sendTime(spec.ID, 0))
 	}
@@ -258,7 +288,7 @@ func (s *STS) CollectDeadline(q query.ID, k int) time.Duration {
 
 // QueryRemoved implements query.Shaper.
 func (s *STS) QueryRemoved(q query.ID) {
-	delete(s.specs, q)
+	s.specs = dropSpec(s.specs, q)
 	s.ss.RemoveQuery(q)
 }
 
@@ -280,7 +310,24 @@ func (s *STS) ControlReceived(from query.NodeID, msg any) {}
 
 // --- DTS ---------------------------------------------------------------
 
+// dtsChild is one child's row in a query's synchronization table: the
+// former rnext/lastK/resync maps fused into a single struct-of-rows
+// slice. Nodes have a handful of children, so linear scans win, and the
+// rows live in the per-run arena instead of three maps per query.
+type dtsChild struct {
+	id    query.NodeID
+	rnext time.Duration
+	lastK int
+	// hasLast distinguishes "no reports seen yet" (a re-added child has
+	// unknown history, so no gap detection on its first report).
+	hasLast bool
+	// resync marks a child whose schedule is unknown after detected
+	// packet loss; the node stays awake for it until a phase arrives.
+	resync bool
+}
+
 type dtsQueryState struct {
+	id   query.ID
 	spec query.Spec
 	// snext is s(k) for the next report to send.
 	snext time.Duration
@@ -290,11 +337,17 @@ type dtsQueryState struct {
 	// forcePhase makes the next report carry a phase update even without
 	// a shift (resynchronization and re-parenting, §4.3).
 	forcePhase bool
-	rnext      map[query.NodeID]time.Duration
-	lastK      map[query.NodeID]int
-	// resync marks children whose schedule is unknown after detected
-	// packet loss; the node stays awake for them until a phase arrives.
-	resync map[query.NodeID]bool
+	children   []dtsChild
+}
+
+// child returns c's row, or nil. The pointer is invalidated by appends.
+func (st *dtsQueryState) child(c query.NodeID) *dtsChild {
+	for i := range st.children {
+		if st.children[i].id == c {
+			return &st.children[i]
+		}
+	}
+	return nil
 }
 
 // DTS is the dynamic traffic shaper (§4.2.3), a Release-Guard-style
@@ -314,7 +367,7 @@ type DTS struct {
 	// receivers and fall back to MAC retries.
 	NoBuffering bool
 
-	q     map[query.ID]*dtsQueryState
+	q     []*dtsQueryState
 	stats ShaperStats
 }
 
@@ -322,12 +375,24 @@ var _ query.Shaper = (*DTS)(nil)
 
 // NewDTS creates a dynamic traffic shaper.
 func NewDTS(env Env, ss *SafeSleep) *DTS {
-	return &DTS{
+	d := sim.ArenaGrab[DTS](ss.eng, "core.dts")
+	*d = DTS{
 		env:          env,
 		ss:           ss,
 		TimeoutSlack: 50 * time.Millisecond,
-		q:            make(map[query.ID]*dtsQueryState),
+		q:            sim.ArenaSlice[*dtsQueryState](ss.eng, "core.dts.q", 2)[:0],
 	}
+	return d
+}
+
+// state returns the per-query state for q, or nil if unknown.
+func (d *DTS) state(q query.ID) *dtsQueryState {
+	for _, st := range d.q {
+		if st.id == q {
+			return st
+		}
+	}
+	return nil
 }
 
 // Name implements query.Shaper.
@@ -338,27 +403,27 @@ func (d *DTS) Stats() ShaperStats { return d.stats }
 
 // QueryAdded implements query.Shaper: s(0) = r(0) = φ.
 func (d *DTS) QueryAdded(spec query.Spec, children []query.NodeID) {
-	st := &dtsQueryState{
-		spec:   spec,
-		snext:  spec.IntervalStart(0),
-		rnext:  make(map[query.NodeID]time.Duration),
-		lastK:  make(map[query.NodeID]int),
-		resync: make(map[query.NodeID]bool),
+	st := sim.ArenaGrab[dtsQueryState](d.ss.eng, "core.dts.state")
+	*st = dtsQueryState{
+		id:       spec.ID,
+		spec:     spec,
+		snext:    spec.IntervalStart(0),
+		children: sim.ArenaSlice[dtsChild](d.ss.eng, "core.dts.children", 8)[:0],
 	}
-	d.q[spec.ID] = st
+	d.q = append(d.q, st)
 	if !d.env.IsRoot() {
 		d.ss.UpdateNextSend(spec.ID, st.snext)
 	}
+	r0 := spec.IntervalStart(0)
 	for _, c := range children {
-		st.rnext[c] = spec.IntervalStart(0)
-		st.lastK[c] = -1
-		d.ss.UpdateNextReceive(spec.ID, c, st.rnext[c])
+		st.children = append(st.children, dtsChild{id: c, rnext: r0, lastK: -1, hasLast: true})
+		d.ss.UpdateNextReceive(spec.ID, c, r0)
 	}
 }
 
 // ReportReady implements query.Shaper.
 func (d *DTS) ReportReady(q query.ID, k int, readyAt time.Duration) (time.Duration, time.Duration) {
-	st := d.q[q]
+	st := d.state(q)
 	var sendAt time.Duration
 	phase := query.NoPhase
 	if readyAt <= st.snext {
@@ -392,7 +457,7 @@ func (d *DTS) ReportReady(q query.ID, k int, readyAt time.Duration) (time.Durati
 
 // ReportSent implements query.Shaper: commit s(k+1).
 func (d *DTS) ReportSent(q query.ID, k int) {
-	st := d.q[q]
+	st := d.state(q)
 	st.snext = st.pendingNext
 	d.ss.UpdateNextSend(q, st.snext)
 }
@@ -402,7 +467,7 @@ func (d *DTS) ReportSent(q query.ID, k int) {
 // carry a phase update so the parent (which detects the interval gap)
 // resynchronizes (§4.3).
 func (d *DTS) ReportFailed(q query.ID, k int) {
-	st := d.q[q]
+	st := d.state(q)
 	st.snext = st.pendingNext
 	st.forcePhase = true
 	d.ss.UpdateNextSend(q, st.snext)
@@ -414,29 +479,38 @@ func (d *DTS) ReportFailed(q query.ID, k int) {
 // were lost: the node requests a phase update and stays awake until
 // resynchronized (§4.3).
 func (d *DTS) ReportReceived(q query.ID, c query.NodeID, k int, phase time.Duration) {
-	st := d.q[q]
-	last, known := st.lastK[c]
-	gap := known && k > last+1
-	st.lastK[c] = k
+	st := d.state(q)
+	ch := st.child(c)
+	if ch == nil {
+		// Unknown child (e.g. a report racing a removal): track it afresh,
+		// matching the old map semantics of auto-created entries.
+		st.children = append(st.children, dtsChild{id: c})
+		ch = &st.children[len(st.children)-1]
+	}
+	gap := ch.hasLast && k > ch.lastK+1
+	ch.lastK, ch.hasLast = k, true
 
+	var rn time.Duration
 	switch {
 	case phase != query.NoPhase:
-		st.rnext[c] = phase
-		st.resync[c] = false
-	case gap || st.resync[c]:
+		ch.rnext, ch.resync = phase, false
+		rn = phase
+	case gap || ch.resync:
 		// Lost report(s) and no phase on this one: the child may have
 		// shifted while we were not listening. Stay awake for this child
 		// (rnext in the past = busy) and request a phase update —
 		// piggybacked on the acknowledgement of the report we just got,
 		// falling back to an explicit packet (§4.3).
-		st.resync[c] = true
-		st.rnext[c] = d.env.Now()
+		ch.resync = true
+		rn = d.env.Now()
+		ch.rnext = rn
 		d.stats.PhaseRequestsSent++
 		d.env.RequestPhaseUpdate(c, q)
 	default:
-		st.rnext[c] += st.spec.Period
+		ch.rnext += st.spec.Period
+		rn = ch.rnext
 	}
-	d.ss.UpdateNextReceive(q, c, st.rnext[c])
+	d.ss.UpdateNextReceive(q, c, rn)
 }
 
 // IntervalClosed implements query.Shaper. DTS keeps rnext untouched for
@@ -448,10 +522,10 @@ func (d *DTS) IntervalClosed(q query.ID, k int, missing []query.NodeID) {}
 
 // CollectDeadline implements the §4.3 DTS timeout max_c(r(k,c)) + tTO.
 func (d *DTS) CollectDeadline(q query.ID, k int) time.Duration {
-	st := d.q[q]
+	st := d.state(q)
 	dl := st.spec.IntervalStart(k)
-	for _, t := range st.rnext {
-		if t > dl {
+	for i := range st.children {
+		if t := st.children[i].rnext; t > dl {
 			dl = t
 		}
 	}
@@ -460,33 +534,46 @@ func (d *DTS) CollectDeadline(q query.ID, k int) time.Duration {
 
 // QueryRemoved implements query.Shaper.
 func (d *DTS) QueryRemoved(q query.ID) {
-	delete(d.q, q)
+	for i, st := range d.q {
+		if st.id == q {
+			d.q = append(d.q[:i], d.q[i+1:]...)
+			break
+		}
+	}
 	d.ss.RemoveQuery(q)
 }
 
 // ChildAdded implements query.Shaper: stay awake until the child's first
 // report (which carries a phase update) synchronizes the pair.
 func (d *DTS) ChildAdded(q query.ID, c query.NodeID) {
-	st := d.q[q]
-	st.rnext[c] = d.env.Now()
-	delete(st.lastK, c) // unknown history: no gap detection on first report
-	delete(st.resync, c)
-	d.ss.UpdateNextReceive(q, c, st.rnext[c])
+	st := d.state(q)
+	now := d.env.Now()
+	if ch := st.child(c); ch != nil {
+		// Re-added child: unknown history, no gap detection on its first
+		// report, and any stale resync flag is void.
+		ch.rnext, ch.hasLast, ch.resync = now, false, false
+	} else {
+		st.children = append(st.children, dtsChild{id: c, rnext: now})
+	}
+	d.ss.UpdateNextReceive(q, c, now)
 }
 
 // ChildRemoved implements query.Shaper.
 func (d *DTS) ChildRemoved(q query.ID, c query.NodeID) {
-	st := d.q[q]
-	delete(st.rnext, c)
-	delete(st.lastK, c)
-	delete(st.resync, c)
+	st := d.state(q)
+	for i := range st.children {
+		if st.children[i].id == c {
+			st.children = append(st.children[:i], st.children[i+1:]...)
+			break
+		}
+	}
 	d.ss.RemoveChild(q, c)
 }
 
 // ParentChanged implements query.Shaper: one phase update on the first
 // report to the new parent resynchronizes the pair (§4.3).
 func (d *DTS) ParentChanged(q query.ID) {
-	d.q[q].forcePhase = true
+	d.state(q).forcePhase = true
 }
 
 // ControlReceived implements query.Shaper: a PhaseRequest from the parent
@@ -496,7 +583,7 @@ func (d *DTS) ControlReceived(from query.NodeID, msg any) {
 	if !ok {
 		return
 	}
-	if st, ok := d.q[req.Query]; ok {
+	if st := d.state(req.Query); st != nil {
 		st.forcePhase = true
 	}
 }

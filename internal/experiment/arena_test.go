@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/essat/essat/internal/protocol"
+)
+
+func arenaScenario(p Protocol, seed int64) Scenario {
+	sc := DefaultScenario(p, seed)
+	sc.Topology.NumNodes = 40
+	sc.Topology.AreaSide = 350
+	sc.Duration = 10 * time.Second
+	sc.MeasureFrom = 2 * time.Second
+	sc.Queries = QueryClasses(rand.New(rand.NewSource(seed*7919)), 1.0, 1, 3*time.Second)
+	sc.Audit = true
+	return sc
+}
+
+// TestArenaResetDigestMatch is the arena's core correctness contract:
+// N back-to-back runs on one reused arena — engine reset, memory pools
+// rewound, deployments served from cache — produce exactly the audit
+// digests of N fresh runs, for every registered protocol. The arena
+// changes where memory comes from, never what a run computes.
+func TestArenaResetDigestMatch(t *testing.T) {
+	const repeats = 3
+	a := NewArenaWithCache(NewDeployCache(0))
+	for _, p := range protocol.All() {
+		sc := arenaScenario(p, 7)
+		fresh, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: fresh run: %v", p, err)
+		}
+		if fresh.Audit == nil || fresh.Audit.Digest == "" {
+			t.Fatalf("%s: fresh run has no audit digest", p)
+		}
+		for i := 0; i < repeats; i++ {
+			got, err := RunWith(a, sc)
+			if err != nil {
+				t.Fatalf("%s: arena run %d: %v", p, i, err)
+			}
+			if got.Audit.Digest != fresh.Audit.Digest {
+				t.Fatalf("%s: arena run %d digest %s, want %s",
+					p, i, got.Audit.Digest, fresh.Audit.Digest)
+			}
+			if got.Audit.Total != 0 {
+				t.Fatalf("%s: arena run %d: %d invariant violations", p, i, got.Audit.Total)
+			}
+		}
+	}
+	// All protocols share one seed, hence one deployment: everything
+	// after the first build must come from the cache.
+	hits, misses := a.cache.Stats()
+	if misses != 1 {
+		t.Errorf("deploy cache misses = %d, want 1 (one deployment shape)", misses)
+	}
+	if want := uint64(len(protocol.All())*repeats - 1); hits != want {
+		t.Errorf("deploy cache hits = %d, want %d", hits, want)
+	}
+}
+
+// TestArenaCacheKeyedBySeed checks distinct deployments don't collide:
+// two seeds through one arena still match their fresh-run digests and
+// occupy separate cache entries.
+func TestArenaCacheKeyedBySeed(t *testing.T) {
+	a := NewArenaWithCache(NewDeployCache(0))
+	for _, seed := range []int64{3, 4, 3} {
+		sc := arenaScenario(DTSSS, seed)
+		fresh, err := Run(sc)
+		if err != nil {
+			t.Fatalf("seed %d: fresh run: %v", seed, err)
+		}
+		got, err := RunWith(a, sc)
+		if err != nil {
+			t.Fatalf("seed %d: arena run: %v", seed, err)
+		}
+		if got.Audit.Digest != fresh.Audit.Digest {
+			t.Fatalf("seed %d: arena digest %s, want %s", seed, got.Audit.Digest, fresh.Audit.Digest)
+		}
+	}
+	if n := a.cache.Len(); n != 2 {
+		t.Errorf("cache holds %d deployments, want 2", n)
+	}
+	hits, misses := a.cache.Stats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/2", hits, misses)
+	}
+}
+
+// TestDisableArenaOptionMatches pins the benchmark baseline path:
+// running a figure grid with DisableArena set produces the same results
+// as the default arena-pooled grid.
+func TestDisableArenaOptionMatches(t *testing.T) {
+	sc := arenaScenario(NTSSS, 5)
+	jobsFor := func(disable bool) []*runJob {
+		jobs := []*runJob{
+			{build: func() Scenario { return sc }},
+			{build: func() Scenario { return arenaScenario(NTSSS, 6) }},
+		}
+		o := Options{Parallelism: 2, DisableArena: disable}
+		if err := runGrid(o, jobs); err != nil {
+			t.Fatalf("runGrid(disable=%t): %v", disable, err)
+		}
+		return jobs
+	}
+	pooled, classic := jobsFor(false), jobsFor(true)
+	for i := range pooled {
+		if pooled[i].res.Audit.Digest != classic[i].res.Audit.Digest {
+			t.Fatalf("job %d: pooled digest %s != classic %s",
+				i, pooled[i].res.Audit.Digest, classic[i].res.Audit.Digest)
+		}
+	}
+}

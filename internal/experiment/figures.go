@@ -44,6 +44,11 @@ type Options struct {
 	// Audit runs every scenario under the cross-layer invariant auditor
 	// (pure observation: results are unchanged).
 	Audit bool
+	// DisableArena runs every scenario on a fresh engine, without the
+	// per-worker memory arenas and the shared deployment cache the grid
+	// otherwise reuses across runs. Results are byte-identical either
+	// way; benchmarks flip this to measure the arenas' effect.
+	DisableArena bool
 }
 
 // PaperOptions reproduces the paper's full experimental setting.
@@ -166,11 +171,25 @@ func runGrid(o Options, jobs []*runJob) error {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// Each worker owns one arena (engine + memory pools reused across the
+	// runs it picks up); all workers share one deployment cache. Job →
+	// worker assignment is dynamic and therefore nondeterministic under
+	// parallelism, which is safe precisely because every run's result is
+	// independent of its arena's history.
+	newArena := func() *Arena { return nil }
+	if !o.DisableArena {
+		cache := NewDeployCache(0)
+		newArena = func() *Arena { return NewArenaWithCache(cache) }
+	}
+	runOne := func(a *Arena, j *runJob) {
+		if j.res, j.err = RunWith(a, j.build()); j.err == nil {
+			j.err = auditErr(j.res)
+		}
+	}
 	if workers <= 1 {
+		a := newArena()
 		for _, j := range jobs {
-			if j.res, j.err = Run(j.build()); j.err == nil {
-				j.err = auditErr(j.res)
-			}
+			runOne(a, j)
 			if j.err != nil {
 				return j.err
 			}
@@ -183,14 +202,13 @@ func runGrid(o Options, jobs []*runJob) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			a := newArena()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
 				}
-				if jobs[i].res, jobs[i].err = Run(jobs[i].build()); jobs[i].err == nil {
-					jobs[i].err = auditErr(jobs[i].res)
-				}
+				runOne(a, jobs[i])
 			}
 		}()
 	}

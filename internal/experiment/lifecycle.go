@@ -2,10 +2,8 @@ package experiment
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"runtime/debug"
 	"time"
 
 	"github.com/essat/essat/internal/sim"
@@ -142,37 +140,13 @@ func (s *Sim) SimulateContext(ctx context.Context, b Budget) error {
 // Collect is contained into a *PanicError instead of unwinding into the
 // caller's process. Run delegates here with a background context and no
 // budget, so its behavior — and every golden digest — is unchanged.
-func RunContext(ctx context.Context, sc Scenario, b Budget) (res *Result, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			res = nil
-			err = &PanicError{Protocol: sc.Protocol, Seed: sc.Seed, Value: r, Stack: debug.Stack()}
-		}
-	}()
-	s, err := Build(sc)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.SimulateContext(ctx, b); err != nil {
-		return nil, err
-	}
-	return s.Collect(), nil
+func RunContext(ctx context.Context, sc Scenario, b Budget) (*Result, error) {
+	return RunContextWith(ctx, nil, sc, b)
 }
 
 // RunSpecContext compiles and runs a declarative spec under ctx and the
 // budget. A contained panic's error carries the marshaled spec, making
 // the failure reproducible from the error alone (essat-sim -scenario).
 func RunSpecContext(ctx context.Context, s *Spec, b Budget) (*Result, error) {
-	sc, err := s.Scenario()
-	if err != nil {
-		return nil, err
-	}
-	res, err := RunContext(ctx, sc, b)
-	var pe *PanicError
-	if errors.As(err, &pe) && pe.SpecJSON == nil {
-		if data, jerr := json.Marshal(s); jerr == nil {
-			pe.SpecJSON = data
-		}
-	}
-	return res, err
+	return RunSpecContextWith(ctx, nil, s, b)
 }

@@ -351,7 +351,18 @@ type Sim struct {
 // attach the protocol stack to every member (via the protocol
 // registry), and schedule queries, stops, flows, failures, and the
 // warm-up snapshot.
-func Build(sc Scenario) (*Sim, error) {
+func Build(sc Scenario) (*Sim, error) { return build(sc, nil) }
+
+// BuildWith is Build executing on a reusable Arena: the engine (event
+// freelist, typed memory pools) is reset and reused instead of
+// reallocated, and deployments (topology + routing-tree template) are
+// served from the arena's cache when an identical placement was built
+// before. Results are byte-identical to Build — the arena changes where
+// memory comes from, never what the run computes. A nil arena is plain
+// Build.
+func BuildWith(a *Arena, sc Scenario) (*Sim, error) { return build(sc, a) }
+
+func build(sc Scenario, a *Arena) (*Sim, error) {
 	if len(sc.Queries) == 0 {
 		return nil, fmt.Errorf("experiment: no queries configured")
 	}
@@ -385,14 +396,43 @@ func Build(sc Scenario) (*Sim, error) {
 	if rcfg == (radio.Config{}) {
 		rcfg = prof.Config()
 	}
-	eng := sim.New(sc.Seed)
+	eng := a.engine(sc.Seed)
 
 	// Gray-zone models deliver past the nominal range: widen the
 	// candidate-neighbor graph to the model's conservative maximum.
 	sc.Topology.NeighborRange = prop.MaxRange(sc.Topology.Range)
-	topo, err := topology.New(eng.Rand(), sc.Topology)
-	if err != nil {
-		return nil, err
+
+	// Placement and tree construction depend only on the deployment key
+	// fields (seed, topology config, tree policy, propagation model), so
+	// an arena with a cache can reuse a previous build's topology and
+	// tree template. The run engine's rng stream must stay identical
+	// either way: on a hit, Replay burns exactly the draws the generator
+	// would have consumed. Caching is skipped when an imperative
+	// ChannelCfg.Propagation override is wired in — that model has no
+	// name to key on.
+	var (
+		topo *topology.Topology
+		tree *routing.Tree
+	)
+	cache := a.deployCache()
+	if cache != nil && sc.ChannelCfg.Propagation != nil {
+		cache = nil
+	}
+	var key string
+	if cache != nil {
+		key = deployKey(sc)
+		if d, ok := cache.lookup(key); ok {
+			if err := topology.Replay(eng.Rand(), sc.Topology); err != nil {
+				return nil, err
+			}
+			topo, tree = d.topo, d.tree.Clone()
+		}
+	}
+	if topo == nil {
+		topo, err = topology.New(eng.Rand(), sc.Topology)
+		if err != nil {
+			return nil, err
+		}
 	}
 	root := topo.CentralNode()
 
@@ -403,22 +443,28 @@ func Build(sc Scenario) (*Sim, error) {
 	chCfg.LossRate = sc.LossRate
 	chCfg.Propagation = prop
 
-	var tree *routing.Tree
-	if sc.BFSTree {
-		tree, err = routing.BuildBFS(topo, root, sc.TreeMaxDist)
-	} else {
-		fcfg := routing.DefaultFloodConfig()
-		fcfg.MaxDist = sc.TreeMaxDist
-		fcfg.ChannelCfg.Propagation = prop
-		if !phy.IsDisc(prop) {
-			// Probabilistic links can strand first-round stragglers;
-			// extra flood rounds keep tree construction converging.
-			fcfg.Rounds = 3
+	if tree == nil {
+		if sc.BFSTree {
+			tree, err = routing.BuildBFS(topo, root, sc.TreeMaxDist)
+		} else {
+			fcfg := routing.DefaultFloodConfig()
+			fcfg.MaxDist = sc.TreeMaxDist
+			fcfg.ChannelCfg.Propagation = prop
+			if !phy.IsDisc(prop) {
+				// Probabilistic links can strand first-round stragglers;
+				// extra flood rounds keep tree construction converging.
+				fcfg.Rounds = 3
+			}
+			tree, err = routing.BuildFlood(sc.Seed+1, topo, root, fcfg)
 		}
-		tree, err = routing.BuildFlood(sc.Seed+1, topo, root, fcfg)
-	}
-	if err != nil {
-		return nil, err
+		if err != nil {
+			return nil, err
+		}
+		if cache != nil {
+			// Store a pristine template: the tree handed to this run is
+			// about to be mutated by failures and re-parenting.
+			cache.store(key, &deployment{topo: topo, tree: tree.Clone()})
+		}
 	}
 
 	ch, err := phy.NewChannel(eng, topo, chCfg)

@@ -94,6 +94,14 @@ type Upper interface {
 	Deliver(src phy.NodeID, payload any, bytes int)
 }
 
+// AckInfoSink receives information piggybacked on acknowledgements. When
+// no SetAckInfoFunc callback is installed, an Upper implementing this
+// interface gets the piggybacked payloads directly — the standard node
+// wiring, which saves a closure per node per run.
+type AckInfoSink interface {
+	AckInfo(from phy.NodeID, info any)
+}
+
 // SendCallback reports the fate of a queued frame: true once the frame was
 // acknowledged (or, for broadcast, transmitted), false when the retry
 // limit was exhausted.
@@ -187,8 +195,15 @@ type MAC struct {
 	lastDecode time.Duration
 
 	nextSeq uint64
-	// lastSeq and seen are dense per-peer duplicate-detection state,
-	// indexed by NodeID (the channel's station table is dense).
+	// Duplicate-detection state, indexed by neighbor position rather
+	// than by NodeID: peers is the station's sorted candidate-neighbor
+	// list (shared with the topology, read-only), and lastSeq/seen are
+	// parallel to it. Frames are only ever delivered from in-range
+	// stations, and range is symmetric, so every decodable source
+	// appears in peers — this keeps per-node dedup state O(degree)
+	// instead of O(N), the difference between ~90 B and ~90 kB per node
+	// on the 10k-node tier. Arena-backed when the engine carries one.
+	peers   []phy.NodeID
 	lastSeq []uint64
 	seen    []bool
 
@@ -200,21 +215,60 @@ type MAC struct {
 	// a second ACK due mid-transmission is dropped by sendAck).
 	ackHdr *header
 
-	// Prebound timer callbacks and object freelists keep the contention/
-	// ACK hot path allocation-free in the steady state.
-	difsDoneFn, backoffDoneFn, txEndFn, ackTimeoutFn,
-	navExpireFn, fireAckFn, ackSentFn func()
+	// Object freelists keep the contention/ACK hot path allocation-free
+	// in the steady state; timer callbacks are shared package-level
+	// dispatchers whose events carry the MAC (no per-station closures).
 	itemFree []*txItem
 	hdrFree  []*header
 
 	// ackInfo holds upper-layer payloads to piggyback on pending ACKs,
 	// keyed by (source, sequence) of the data frame being acknowledged.
+	// Lazily allocated: most stations never piggyback anything.
 	ackInfo   map[ackKey]any
 	onAckInfo func(from phy.NodeID, info any)
 
-	onIdle func()
-	obs    Observer
-	stats  Stats
+	onIdle   func()
+	idleSink IdleSink
+	obs      Observer
+	stats    Stats
+}
+
+// Timer dispatchers shared by every station: the events carry the MAC as
+// their argument, so constructing a station allocates no timer closures.
+func macDifsDone(x any)    { x.(*MAC).difsDone() }
+func macBackoffDone(x any) { x.(*MAC).backoffDone() }
+func macNavExpire(x any) {
+	m := x.(*MAC)
+	m.navEv = nil
+	m.tryContend()
+}
+func macTxEnd(x any) {
+	m := x.(*MAC)
+	m.txEndEv = nil
+	m.inTx = false
+	m.txDone(m.cur)
+}
+func macAckTimeout(x any) {
+	m := x.(*MAC)
+	m.ackEv = nil
+	m.waitingAck = false
+	m.retry(m.cur)
+}
+func macFireAck(x any) {
+	m := x.(*MAC)
+	pa := m.pendingAcks[0]
+	n := copy(m.pendingAcks, m.pendingAcks[1:])
+	m.pendingAcks = m.pendingAcks[:n]
+	m.sendAck(pa.src, pa.seq)
+}
+func macAckSent(x any) {
+	m := x.(*MAC)
+	if m.ackHdr != nil {
+		m.releaseHeader(m.ackHdr)
+		m.ackHdr = nil
+	}
+	m.ackPending--
+	m.afterAck()
 }
 
 type ackKey struct {
@@ -227,7 +281,9 @@ func New(eng *sim.Engine, ch *phy.Channel, id phy.NodeID, r *radio.Radio, cfg Co
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	m := &MAC{
+	peers := ch.Neighbors(id)
+	m := sim.ArenaGrab[MAC](eng, "mac.mac")
+	*m = MAC{
 		eng:        eng,
 		ch:         ch,
 		id:         id,
@@ -236,42 +292,12 @@ func New(eng *sim.Engine, ch *phy.Channel, id phy.NodeID, r *radio.Radio, cfg Co
 		upper:      upper,
 		cw:         cfg.CWMin,
 		lastDecode: -1,
-		lastSeq:    make([]uint64, ch.NumStations()),
-		seen:       make([]bool, ch.NumStations()),
-		ackInfo:    make(map[ackKey]any),
-	}
-	m.difsDoneFn = m.difsDone
-	m.backoffDoneFn = m.backoffDone
-	m.txEndFn = func() {
-		m.txEndEv = nil
-		m.inTx = false
-		m.txDone(m.cur)
-	}
-	m.ackTimeoutFn = func() {
-		m.ackEv = nil
-		m.waitingAck = false
-		m.retry(m.cur)
-	}
-	m.navExpireFn = func() {
-		m.navEv = nil
-		m.tryContend()
-	}
-	m.fireAckFn = func() {
-		pa := m.pendingAcks[0]
-		n := copy(m.pendingAcks, m.pendingAcks[1:])
-		m.pendingAcks = m.pendingAcks[:n]
-		m.sendAck(pa.src, pa.seq)
-	}
-	m.ackSentFn = func() {
-		if m.ackHdr != nil {
-			m.releaseHeader(m.ackHdr)
-			m.ackHdr = nil
-		}
-		m.ackPending--
-		m.afterAck()
+		peers:      peers,
+		lastSeq:    sim.ArenaSlice[uint64](eng, "mac.lastseq", len(peers)),
+		seen:       sim.ArenaSlice[bool](eng, "mac.seen", len(peers)),
 	}
 	ch.Attach(id, r, m)
-	r.Subscribe(m.radioChanged)
+	r.SubscribeState(m)
 	return m
 }
 
@@ -279,7 +305,7 @@ func New(eng *sim.Engine, ch *phy.Channel, id phy.NodeID, r *radio.Radio, cfg Co
 func (m *MAC) newHeader(kind frameKind, seq uint64, payload any) *header {
 	h := sim.TakeLast(&m.hdrFree)
 	if h == nil {
-		h = &header{}
+		h = sim.ArenaGrab[header](m.eng, "mac.hdr")
 	}
 	h.kind, h.seq, h.payload = kind, seq, payload
 	return h
@@ -316,11 +342,34 @@ func (m *MAC) AttachToAck(src phy.NodeID, info any) bool {
 	if m.ackPending == 0 {
 		return false
 	}
-	if !m.seen[src] {
+	pi := m.peerIndex(src)
+	if pi < 0 || !m.seen[pi] {
 		return false
 	}
-	m.ackInfo[ackKey{src: src, seq: m.lastSeq[src]}] = info
+	if m.ackInfo == nil {
+		m.ackInfo = make(map[ackKey]any)
+	}
+	m.ackInfo[ackKey{src: src, seq: m.lastSeq[pi]}] = info
 	return true
+}
+
+// peerIndex returns src's position in the sorted peers list, or -1 when
+// src is not a candidate neighbor (which delivery symmetry rules out
+// for decoded frames; -1 only defends against direct-driver misuse).
+func (m *MAC) peerIndex(src phy.NodeID) int {
+	lo, hi := 0, len(m.peers)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.peers[mid] < src {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(m.peers) && m.peers[lo] == src {
+		return lo
+	}
+	return -1
 }
 
 // SetObserver installs a MAC decision observer (nil disables).
@@ -330,6 +379,17 @@ func (m *MAC) SetObserver(o Observer) { m.obs = o }
 // empty, no transmission in flight, no acknowledgement owed. Safe Sleep
 // uses it to re-evaluate whether the node may sleep.
 func (m *MAC) SetIdleFunc(f func()) { m.onIdle = f }
+
+// IdleSink is the interface form of the drained notification: hot
+// per-node subscribers implement it so installing them stores an
+// existing object instead of allocating a method-value closure.
+type IdleSink interface {
+	MACIdle()
+}
+
+// SetIdleSink installs an IdleSink, notified alongside any SetIdleFunc
+// callback.
+func (m *MAC) SetIdleSink(s IdleSink) { m.idleSink = s }
 
 // Busy reports whether the MAC has unfinished work: queued or in-flight
 // frames, or an acknowledgement it still owes a peer.
@@ -353,7 +413,7 @@ func (m *MAC) Send(dst phy.NodeID, payload any, bytes int, cb SendCallback) {
 	}
 	item := sim.TakeLast(&m.itemFree)
 	if item == nil {
-		item = &txItem{}
+		item = sim.ArenaGrab[txItem](m.eng, "mac.item")
 	}
 	*item = txItem{dst: dst, payload: payload, bytes: bytes, cb: cb,
 		seq: m.nextSeq, enqueued: m.eng.Now()}
@@ -381,7 +441,7 @@ func (m *MAC) tryContend() {
 	if m.carrierBusy() {
 		return // resumes via CarrierChanged(false) or NAV expiry
 	}
-	m.difsEv = m.eng.After(m.cfg.DIFS, m.difsDoneFn)
+	m.difsEv = m.eng.AfterArg(m.cfg.DIFS, macDifsDone, m)
 }
 
 func (m *MAC) difsDone() {
@@ -398,7 +458,7 @@ func (m *MAC) difsDone() {
 		return
 	}
 	m.backoffStarted = m.eng.Now()
-	m.backoffEv = m.eng.After(time.Duration(m.backoff)*m.cfg.SlotTime, m.backoffDoneFn)
+	m.backoffEv = m.eng.AfterArg(time.Duration(m.backoff)*m.cfg.SlotTime, macBackoffDone, m)
 }
 
 func (m *MAC) backoffDone() {
@@ -430,7 +490,7 @@ func (m *MAC) setNAV(until time.Duration) {
 	if m.navEv != nil {
 		m.navEv.RescheduleTo(until)
 	} else {
-		m.navEv = m.eng.Schedule(until, m.navExpireFn)
+		m.navEv = m.eng.ScheduleArg(until, macNavExpire, m)
 	}
 }
 
@@ -460,7 +520,7 @@ func (m *MAC) transmit() {
 	}
 	item.hdr = m.newHeader(kindData, item.seq, item.payload)
 	dur, _ := m.ch.StartTx(m.id, item.dst, item.bytes, item.hdr)
-	m.txEndEv = m.eng.After(dur, m.txEndFn)
+	m.txEndEv = m.eng.AfterArg(dur, macTxEnd, m)
 }
 
 func (m *MAC) txDone(item *txItem) {
@@ -476,7 +536,7 @@ func (m *MAC) txDone(item *txItem) {
 	}
 	m.waitingAck = true
 	timeout := m.cfg.SIFS + m.ch.FrameDuration(m.cfg.AckBytes) + 3*m.cfg.SlotTime
-	m.ackEv = m.eng.After(timeout, m.ackTimeoutFn)
+	m.ackEv = m.eng.AfterArg(timeout, macAckTimeout, m)
 }
 
 func (m *MAC) retry(item *txItem) {
@@ -525,8 +585,13 @@ func (m *MAC) finish(item *txItem, ok bool) {
 }
 
 func (m *MAC) notifyIdleIfDrained() {
-	if m.onIdle != nil && !m.Busy() {
-		m.onIdle()
+	if (m.onIdle != nil || m.idleSink != nil) && !m.Busy() {
+		if m.onIdle != nil {
+			m.onIdle()
+		}
+		if m.idleSink != nil {
+			m.idleSink.MACIdle()
+		}
 	}
 }
 
@@ -559,8 +624,12 @@ func (m *MAC) FrameDelivered(f *phy.Frame) {
 }
 
 func (m *MAC) ackReceived(src phy.NodeID, seq uint64, info any) {
-	if info != nil && m.onAckInfo != nil {
-		m.onAckInfo(src, info)
+	if info != nil {
+		if m.onAckInfo != nil {
+			m.onAckInfo(src, info)
+		} else if s, ok := m.upper.(AckInfoSink); ok {
+			s.AckInfo(src, info)
+		}
 	}
 	if !m.waitingAck || len(m.queue) == 0 {
 		return // stale ACK
@@ -582,12 +651,14 @@ func (m *MAC) dataReceived(f *phy.Frame, hdr *header) {
 	if f.Dst == m.id {
 		// Unicast: schedule the ACK first so Busy() is accurate for any
 		// upper-layer logic that runs during Deliver.
-		dup = m.seen[f.Src] && m.lastSeq[f.Src] == hdr.seq
-		m.seen[f.Src] = true
-		m.lastSeq[f.Src] = hdr.seq
+		if pi := m.peerIndex(f.Src); pi >= 0 {
+			dup = m.seen[pi] && m.lastSeq[pi] == hdr.seq
+			m.seen[pi] = true
+			m.lastSeq[pi] = hdr.seq
+		}
 		m.ackPending++
 		m.pendingAcks = append(m.pendingAcks, ackKey{src: f.Src, seq: hdr.seq})
-		m.eng.After(m.cfg.SIFS, m.fireAckFn)
+		m.eng.AfterArg(m.cfg.SIFS, macFireAck, m)
 	}
 	if dup {
 		m.stats.Duplicates++
@@ -614,7 +685,7 @@ func (m *MAC) sendAck(dst phy.NodeID, seq uint64) {
 	m.ackHdr = m.newHeader(kindAck, seq, info)
 	dur, _ := m.ch.StartTx(m.id, dst, m.cfg.AckBytes, m.ackHdr)
 	m.stats.AcksSent++
-	m.eng.After(dur, m.ackSentFn)
+	m.eng.AfterArg(dur, macAckSent, m)
 }
 
 func (m *MAC) afterAck() {
@@ -650,7 +721,8 @@ func (m *MAC) CarrierChanged(busy bool) {
 
 // --- radio gating ----------------------------------------------------------
 
-func (m *MAC) radioChanged(old, new radio.State) {
+// RadioStateChanged implements radio.StateListener.
+func (m *MAC) RadioStateChanged(old, new radio.State) {
 	switch new {
 	case radio.Idle:
 		if old == radio.TurningOn || old == radio.Off {

@@ -43,7 +43,7 @@ func TestDisseminationEndToEnd(t *testing.T) {
 		id := id
 		n := New(eng, id, tree, ch, radio.Config{TurnOnDelay: time.Millisecond, TurnOffDelay: 500 * time.Microsecond}, mac.DefaultConfig())
 		ss := core.NewSafeSleep(eng, n.Radio, core.SafeSleepOptions{
-			BreakEven: -1, WakeAhead: -1, MACBusy: n.MAC.Busy,
+			BreakEven: -1, WakeAhead: -1, MACBusy: n.MAC,
 		})
 		n.InstallSleep(ss)
 		n.InstallAgent(core.NewDTS(n, ss), nil, query.DefaultConfig())

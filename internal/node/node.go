@@ -70,13 +70,16 @@ type Node struct {
 }
 
 var _ mac.Upper = (*Node)(nil)
+var _ mac.AckInfoSink = (*Node)(nil)
+var _ query.Host = (*Node)(nil)
 var _ core.Env = (*Node)(nil)
 var _ core.DisseminationEnv = (*Node)(nil)
 
 // New builds the bottom half of a node (radio + MAC) attached to the
 // channel. InstallAgent must be called before the simulation starts.
 func New(eng *sim.Engine, id NodeID, tree *routing.Tree, ch *phy.Channel, radioCfg radio.Config, macCfg mac.Config) *Node {
-	n := &Node{id: id, eng: eng, tree: tree}
+	n := sim.ArenaGrab[Node](eng, "node.node")
+	*n = Node{id: id, eng: eng, tree: tree}
 	n.Radio = radio.New(eng, radioCfg)
 	n.MAC = mac.New(eng, ch, id, n.Radio, macCfg, n)
 	return n
@@ -106,21 +109,23 @@ func (n *Node) SetTracer(tr *trace.Tracer) {
 // notification into its state check.
 func (n *Node) InstallSleep(ss *core.SafeSleep) {
 	n.SS = ss
-	n.MAC.SetIdleFunc(ss.CheckState)
+	n.MAC.SetIdleSink(ss)
 }
 
 // InstallAgent creates the query agent with the given shaper. sink is
-// non-nil only at the root.
+// non-nil only at the root. The node itself is the agent's Host (send
+// path + failure handlers) and the MAC's AckInfoSink, so the wiring
+// allocates nothing per node.
 func (n *Node) InstallAgent(shaper query.Shaper, sink query.Sink, cfg query.Config) {
-	n.Agent = query.NewAgent(n.eng, n.id, n.tree, shaper, n.sendReport, sink, cfg)
-	n.Agent.SetFailureHandlers(n.childFailed, n.parentFailed)
-	// Route information piggybacked on received ACKs (DTS phase requests)
-	// to the shaper.
-	n.MAC.SetAckInfoFunc(func(from NodeID, info any) {
-		if !n.killed {
-			n.Agent.HandleControl(from, info)
-		}
-	})
+	n.Agent = query.NewAgent(n.eng, n.id, n.tree, shaper, n, sink, cfg)
+}
+
+// AckInfo implements mac.AckInfoSink: information piggybacked on
+// received ACKs (DTS phase requests) routes to the shaper.
+func (n *Node) AckInfo(from NodeID, info any) {
+	if !n.killed {
+		n.Agent.HandleControl(from, info)
+	}
 }
 
 // InstallDisseminator attaches the downstream dissemination handler
@@ -194,7 +199,9 @@ func (n *Node) Recover() {
 	n.tracer.Recordf(n.id, trace.Recovered, "recovered")
 }
 
-func (n *Node) sendReport(dst NodeID, payload any, bytes int, cb func(ok bool)) {
+// SendReport implements query.Host, routing agent reports through the
+// power manager's gate when one is installed.
+func (n *Node) SendReport(dst NodeID, payload any, bytes int, cb func(ok bool)) {
 	if n.killed {
 		return
 	}
@@ -288,20 +295,21 @@ func (n *Node) SendData(dst query.NodeID, payload any, bytes int, cb func(ok boo
 
 // --- §4.3 failure recovery --------------------------------------------------
 
-// childFailed runs when the agent's failure detector declares a child
-// dead (repeated missed reports): remove the dependency and the stale
-// expected times, and mark the node dead in the shared tree so nobody
-// re-parents onto it.
-func (n *Node) childFailed(child NodeID) {
+// ChildFailed implements query.Host: the agent's failure detector
+// declared a child dead (repeated missed reports). Remove the dependency
+// and the stale expected times, and mark the node dead in the shared
+// tree so nobody re-parents onto it.
+func (n *Node) ChildFailed(child NodeID) {
 	n.tracer.Recordf(n.id, trace.NodeFailed, "child %d declared dead", child)
 	n.tree.MarkDead(child)
 	n.Agent.ChildRemoved(child)
 }
 
-// parentFailed runs when repeated transmissions to the parent failed:
-// pick a new parent (lowest-level live neighbor), update the tree, and
-// announce ourselves with a Join so the new parent adds the dependency.
-func (n *Node) parentFailed() {
+// ParentFailed implements query.Host: repeated transmissions to the
+// parent failed. Pick a new parent (lowest-level live neighbor), update
+// the tree, and announce ourselves with a Join so the new parent adds
+// the dependency.
+func (n *Node) ParentFailed() {
 	old := n.tree.Parent(n.id)
 	np := n.tree.FindNewParent(n.id, old)
 	if np == routing.None {

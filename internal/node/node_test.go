@@ -38,7 +38,7 @@ func buildNet(t *testing.T, pts []geom.Point, failureThreshold int) (*sim.Engine
 	for _, id := range tree.Members() {
 		n := New(eng, id, tree, ch, radio.Config{TurnOnDelay: time.Millisecond, TurnOffDelay: 500 * time.Microsecond}, mac.DefaultConfig())
 		ss := core.NewSafeSleep(eng, n.Radio, core.SafeSleepOptions{
-			BreakEven: -1, WakeAhead: -1, MACBusy: n.MAC.Busy,
+			BreakEven: -1, WakeAhead: -1, MACBusy: n.MAC,
 		})
 		n.InstallSleep(ss)
 		var s query.Sink

@@ -110,13 +110,20 @@ type Stats struct {
 	BytesSent uint64
 }
 
-// activeTx is one in-flight transmission. The struct embeds its Frame and
-// a prebound completion callback so the whole per-transmission footprint
-// is recycled through the channel's freelist: the steady state of StartTx
-// is allocation-free.
+// activeTx is one in-flight transmission. The struct embeds its Frame
+// and its owning channel so the completion event can carry the struct
+// itself (no per-transmission closure); the whole footprint is recycled
+// through the channel's freelist and the steady state of StartTx is
+// allocation-free.
 type activeTx struct {
 	frame Frame
-	endFn func() // prebound c.endTx(tx), created once per struct
+	ch    *Channel
+}
+
+// activeTxEnd is the completion dispatcher shared by every transmission.
+func activeTxEnd(x any) {
+	tx := x.(*activeTx)
+	tx.ch.endTx(tx)
 }
 
 type station struct {
@@ -140,12 +147,17 @@ type linkKey struct {
 
 // Channel is the shared medium connecting all attached stations.
 type Channel struct {
-	eng       *sim.Engine
-	topo      *topology.Topology
-	bitrate   int64 // bits per second
-	overhead  time.Duration
-	lossRate  float64
-	stations  []*station
+	eng      *sim.Engine
+	topo     *topology.Topology
+	bitrate  int64 // bits per second
+	overhead time.Duration
+	lossRate float64
+	// stations is a dense, by-value (SoA-style) table indexed by NodeID:
+	// one cache-friendly slab instead of N pointer-linked objects. It is
+	// sized once at construction and never grows, so interior pointers
+	// (&c.stations[i]) stay valid for the run. Arena-backed when the
+	// engine carries an arena.
+	stations  []station
 	nextID    uint64
 	stats     Stats
 	neighbors func(NodeID) []NodeID
@@ -209,9 +221,13 @@ func NewChannel(eng *sim.Engine, topo *topology.Topology, cfg Config) (*Channel,
 		bitrate:  cfg.BitRate,
 		overhead: cfg.PerFrameOverhead,
 		lossRate: cfg.LossRate,
-		stations: make([]*station, topo.NumNodes()),
+		stations: sim.ArenaSlice[station](eng, "phy.stations", topo.NumNodes()),
 		prop:     prop,
 		discFast: IsDisc(prop),
+		// A handful of transmissions are in flight at any instant; seed the
+		// tracking and recycling lists with arena-backed capacity.
+		active: sim.ArenaSlice[*activeTx](eng, "phy.active", 8)[:0],
+		freeTx: sim.ArenaSlice[*activeTx](eng, "phy.freetx", 8)[:0],
 	}
 	c.neighbors = topo.Neighbors
 	return c, nil
@@ -224,18 +240,21 @@ func (c *Channel) Propagation() Propagation { return c.prop }
 // subscribes to radio state changes so that a radio powering down
 // mid-reception drops the frame.
 func (c *Channel) Attach(id NodeID, r *radio.Radio, rx Receiver) {
-	if c.stations[id] != nil {
+	st := &c.stations[id]
+	if st.rx != nil {
 		panic(fmt.Sprintf("phy: node %d attached twice", id))
 	}
-	st := &station{id: id, radio: r, rx: rx, enabled: true}
-	c.stations[id] = st
-	r.Subscribe(func(old, new radio.State) {
-		// Leaving a listening state mid-frame loses the frame.
-		if st.receiving != nil && new != radio.Rx {
-			st.receiving = nil
-			st.corrupted = false
-		}
-	})
+	*st = station{id: id, radio: r, rx: rx, enabled: true}
+	r.SubscribeState(st)
+}
+
+// RadioStateChanged implements radio.StateListener: leaving a listening
+// state mid-frame loses the frame.
+func (st *station) RadioStateChanged(old, new radio.State) {
+	if st.receiving != nil && new != radio.Rx {
+		st.receiving = nil
+		st.corrupted = false
+	}
 }
 
 // Stats returns a copy of the channel counters.
@@ -272,6 +291,13 @@ func (c *Channel) LinkLoss(src, dst NodeID) float64 {
 // MACs use it to size per-peer bookkeeping slices.
 func (c *Channel) NumStations() int { return len(c.stations) }
 
+// Neighbors returns the candidate-neighbor list of node id, sorted
+// ascending — the exact set of stations frames from id can reach (and,
+// by range symmetry, the set id can receive from). MACs use it to size
+// and index per-peer bookkeeping by neighbor position instead of by
+// the full station ID space. The returned slice is shared, read-only.
+func (c *Channel) Neighbors(id NodeID) []NodeID { return c.neighbors(id) }
+
 // FrameDuration returns the airtime of a frame with the given payload size.
 func (c *Channel) FrameDuration(bytes int) time.Duration {
 	bits := int64(bytes) * 8
@@ -281,7 +307,7 @@ func (c *Channel) FrameDuration(bytes int) time.Duration {
 // CarrierBusy reports whether node id currently senses energy on the
 // channel. A powered-down radio senses nothing.
 func (c *Channel) CarrierBusy(id NodeID) bool {
-	st := c.stations[id]
+	st := &c.stations[id]
 	if !st.radio.IsListening() && st.radio.State() != radio.Tx {
 		return false
 	}
@@ -292,7 +318,7 @@ func (c *Channel) CarrierBusy(id NodeID) bool {
 // it no longer receives frames or generates carrier at others. Its radio
 // is shut down for good, so stale wake-ups cannot resurrect the node.
 func (c *Channel) Disable(id NodeID) {
-	st := c.stations[id]
+	st := &c.stations[id]
 	st.enabled = false
 	st.disabled = true
 	st.receiving = nil
@@ -311,7 +337,7 @@ func (c *Channel) Disabled(id NodeID) bool { return c.stations[id].disabled }
 // generating carrier, and its radio hardware goes down until Resume.
 // Unlike Disable, the outage is reversible.
 func (c *Channel) Suspend(id NodeID) {
-	st := c.stations[id]
+	st := &c.stations[id]
 	st.enabled = false
 	st.receiving = nil
 	st.corrupted = false
@@ -325,7 +351,7 @@ func (c *Channel) Suspend(id NodeID) {
 // carrier edges during the outage were not delivered to it. A
 // permanently Disabled node cannot be resumed.
 func (c *Channel) Resume(id NodeID) {
-	st := c.stations[id]
+	st := &c.stations[id]
 	if st.enabled || st.disabled {
 		return
 	}
@@ -344,15 +370,14 @@ func (c *Channel) Resume(id NodeID) {
 // in-range station happen automatically; the transmission completes (and
 // the source radio returns to Idle) after the returned duration.
 func (c *Channel) StartTx(src NodeID, dst NodeID, bytes int, payload any) (time.Duration, *Frame) {
-	st := c.stations[src]
+	st := &c.stations[src]
 	if !st.enabled {
 		panic(fmt.Sprintf("phy: disabled node %d transmitting", src))
 	}
 	tx := sim.TakeLast(&c.freeTx)
 	if tx == nil {
-		tx = &activeTx{}
-		txp := tx
-		tx.endFn = func() { c.endTx(txp) }
+		tx = sim.ArenaGrab[activeTx](c.eng, "phy.tx")
+		tx.ch = c
 	}
 	tx.frame = Frame{ID: c.nextID, Src: src, Dst: dst, Bytes: bytes, Payload: payload}
 	c.nextID++
@@ -367,7 +392,7 @@ func (c *Channel) StartTx(src NodeID, dst NodeID, bytes int, payload any) (time.
 
 	st.radio.BeginTx()
 	for _, nb := range c.neighbors(src) {
-		rst := c.stations[nb]
+		rst := &c.stations[nb]
 		if !rst.enabled {
 			continue
 		}
@@ -390,18 +415,18 @@ func (c *Channel) StartTx(src NodeID, dst NodeID, bytes int, payload any) (time.
 		}
 	}
 
-	c.eng.After(dur, tx.endFn)
+	c.eng.AfterArg(dur, activeTxEnd, tx)
 	return dur, &tx.frame
 }
 
 func (c *Channel) endTx(tx *activeTx) {
 	src := tx.frame.Src
-	st := c.stations[src]
+	st := &c.stations[src]
 	if st.radio.State() == radio.Tx {
 		st.radio.EndTx()
 	}
 	for _, nb := range c.neighbors(src) {
-		rst := c.stations[nb]
+		rst := &c.stations[nb]
 		if !rst.enabled {
 			continue
 		}

@@ -126,7 +126,7 @@ func newSafeSleep(ctx *BuildContext, disabled bool) *core.SafeSleep {
 	return core.NewSafeSleep(ctx.Eng, n.Radio, core.SafeSleepOptions{
 		BreakEven: ctx.Params.SSBreakEven,
 		WakeAhead: -1,
-		MACBusy:   n.MAC.Busy,
+		MACBusy:   n.MAC,
 		Disabled:  disabled || ctx.Params.DisableSafeSleep,
 	})
 }

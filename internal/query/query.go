@@ -13,7 +13,6 @@ package query
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/essat/essat/internal/routing"
@@ -130,6 +129,49 @@ type Sink interface {
 // SendFunc submits a payload toward dst; cb reports MAC-level success.
 type SendFunc func(dst NodeID, payload any, bytes int, cb func(ok bool))
 
+// Host is the node-side environment of an Agent: the transmit path and
+// the failure-detection notifications. The node implements it directly,
+// so wiring an agent stores one interface value instead of binding a
+// send closure and two failure-handler closures per node per run.
+type Host interface {
+	// SendReport submits a payload toward dst; cb reports MAC-level
+	// success.
+	SendReport(dst NodeID, payload any, bytes int, cb func(ok bool))
+	// ChildFailed fires when a child missed FailureThreshold consecutive
+	// intervals.
+	ChildFailed(child NodeID)
+	// ParentFailed fires when FailureThreshold consecutive transmissions
+	// to the parent failed.
+	ParentFailed()
+}
+
+// HostFuncs adapts plain funcs to Host (tests, ad-hoc wiring). Nil
+// failure handlers are no-ops; Send must be set.
+type HostFuncs struct {
+	Send           SendFunc
+	OnChildFailed  func(child NodeID)
+	OnParentFailed func()
+}
+
+// SendReport implements Host.
+func (h *HostFuncs) SendReport(dst NodeID, payload any, bytes int, cb func(ok bool)) {
+	h.Send(dst, payload, bytes, cb)
+}
+
+// ChildFailed implements Host.
+func (h *HostFuncs) ChildFailed(child NodeID) {
+	if h.OnChildFailed != nil {
+		h.OnChildFailed(child)
+	}
+}
+
+// ParentFailed implements Host.
+func (h *HostFuncs) ParentFailed() {
+	if h.OnParentFailed != nil {
+		h.OnParentFailed()
+	}
+}
+
 // AggFunc folds two aggregate values. The default is max, typical for
 // threshold-detection queries.
 type AggFunc func(a, b float64) float64
@@ -185,9 +227,10 @@ type Stats struct {
 }
 
 // interval is one collection round. Intervals are pooled by the Agent:
-// expected/got are parallel slices (children owed, and who reported) whose
-// capacity survives recycling, and timeoutFn is the prebound deadline
-// callback, so steady-state interval turnover is allocation-free.
+// the struct and its expected/got slices come from the per-run arena,
+// their capacity survives recycling, and the deadline timer dispatches
+// through a shared package-level func carrying the interval as its
+// event argument, so steady-state interval turnover is allocation-free.
 type interval struct {
 	k        int
 	value    float64
@@ -198,8 +241,17 @@ type interval struct {
 	closed   bool
 	timeout  *sim.Event
 
-	rt        *runtime // owning query runtime, for the prebound callback
-	timeoutFn func()
+	rt *runtime // owning query runtime
+}
+
+// intervalTimeout is the collection-deadline dispatcher shared by every
+// interval: events carry the interval instead of a per-interval closure.
+func intervalTimeout(x any) {
+	iv := x.(*interval)
+	a := iv.rt.a
+	iv.timeout = nil
+	a.stats.Timeouts++
+	a.closeInterval(iv.rt, iv)
 }
 
 // expectedIdx returns c's position in expected, or -1.
@@ -212,43 +264,121 @@ func (iv *interval) expectedIdx(c NodeID) int {
 	return -1
 }
 
+// missEntry is one child's consecutive-miss counter.
+type missEntry struct {
+	id NodeID
+	n  int
+}
+
 type runtime struct {
-	spec        Spec
-	intervals   map[int]*interval
-	consecMiss  map[NodeID]int
+	a    *Agent // owning agent, for the shared event dispatchers
+	spec Spec
+	// intervals holds the open collection rounds in ascending k: ticks
+	// create intervals in increasing order and removals preserve order,
+	// so every walk with side effects (closing may submit reports,
+	// releasing feeds the pools) is deterministic. At most a handful are
+	// open (far-past rounds are pruned), so linear lookups win over a map.
+	intervals []*interval
+	// consecMiss is the per-child consecutive-miss table, a small linear
+	// slice for the same reason.
+	consecMiss  []missEntry
 	lastClosedK int
 
-	// tickFn starts interval tickK: the prebound self-rescheduling chain
-	// (exactly one tick is outstanding per query).
-	tickFn func()
-	tickK  int
+	// tickK is the interval the next tick starts: the self-rescheduling
+	// chain (exactly one tick is outstanding per query).
+	tickK int
 	// chainDead marks a broken tick chain: a tick fired while the agent
 	// was stopped (node crashed) and did not reschedule itself. Resume
 	// restarts dead chains at the next interval boundary.
 	chainDead bool
 }
 
-// sortedIntervalKs returns the open-interval keys in ascending order.
-// Every site that walks rt.intervals with side effects (closing may
-// submit reports, canceling/releasing feeds the pools) iterates in this
-// order: map order would vary the seq tie-break of same-instant events
-// and break run determinism.
-func (rt *runtime) sortedIntervalKs() []int {
-	ks := make([]int, 0, len(rt.intervals))
-	for k := range rt.intervals {
-		ks = append(ks, k)
+// queryTick is the interval-start dispatcher shared by every query:
+// events carry the runtime instead of a per-query closure.
+func queryTick(x any) {
+	rt := x.(*runtime)
+	rt.a.startInterval(rt, rt.tickK)
+}
+
+// interval returns the open interval k, or nil.
+func (rt *runtime) interval(k int) *interval {
+	for _, iv := range rt.intervals {
+		if iv.k == k {
+			return iv
+		}
 	}
-	sort.Ints(ks)
-	return ks
+	return nil
+}
+
+// removeInterval detaches interval k, preserving ascending order.
+func (rt *runtime) removeInterval(k int) *interval {
+	for i, iv := range rt.intervals {
+		if iv.k == k {
+			rt.intervals = append(rt.intervals[:i], rt.intervals[i+1:]...)
+			return iv
+		}
+	}
+	return nil
+}
+
+// intervalAfter returns the open interval with the smallest k greater
+// than prev, or nil. Iterating with it is safe under re-entrant
+// mutation (closing an interval can prune others via failure handlers),
+// which a direct range over the slice is not.
+func (rt *runtime) intervalAfter(prev int) *interval {
+	for _, iv := range rt.intervals {
+		if iv.k > prev {
+			return iv
+		}
+	}
+	return nil
+}
+
+// bumpMiss increments c's consecutive-miss counter and returns it.
+func (rt *runtime) bumpMiss(c NodeID) int {
+	for i := range rt.consecMiss {
+		if rt.consecMiss[i].id == c {
+			rt.consecMiss[i].n++
+			return rt.consecMiss[i].n
+		}
+	}
+	rt.consecMiss = append(rt.consecMiss, missEntry{id: c, n: 1})
+	return 1
+}
+
+// zeroMiss resets c's counter; absent entries are already zero.
+func (rt *runtime) zeroMiss(c NodeID) {
+	for i := range rt.consecMiss {
+		if rt.consecMiss[i].id == c {
+			rt.consecMiss[i].n = 0
+			return
+		}
+	}
+}
+
+// dropMiss forgets c entirely (child removed).
+func (rt *runtime) dropMiss(c NodeID) {
+	for i := range rt.consecMiss {
+		if rt.consecMiss[i].id == c {
+			rt.consecMiss = append(rt.consecMiss[:i], rt.consecMiss[i+1:]...)
+			return
+		}
+	}
 }
 
 // txReport is a pooled in-flight report: the Report payload plus the
-// prebound submit timer and MAC-completion callbacks that reference it.
+// prebound MAC-completion callback that references it. The submit timer
+// dispatches through a shared package-level func.
 type txReport struct {
-	rep      Report
-	rt       *runtime
-	submitFn func()
-	cbFn     func(ok bool)
+	rep  Report
+	rt   *runtime
+	cbFn func(ok bool)
+}
+
+// txSubmit is the send-time dispatcher shared by every in-flight report.
+func txSubmit(x any) {
+	tr := x.(*txReport)
+	tr.rt.a.submit(tr.rt, tr)
 }
 
 // Agent runs the query service at one node.
@@ -257,12 +387,16 @@ type Agent struct {
 	id     NodeID
 	tree   *routing.Tree
 	shaper Shaper
-	send   SendFunc
+	host   Host
 	sink   Sink
 	cfg    Config
 	agg    AggFunc
 
-	queries map[ID]*runtime
+	// queries holds the registered runtimes in ascending spec.ID, so
+	// every maintenance walk (which mutates shaper and sleep state, and
+	// may schedule events) iterates deterministically. Nodes carry a
+	// handful of queries; linear lookups win over a map.
+	queries []*runtime
 	stats   Stats
 
 	// Freelists and scratch space for the per-interval hot path.
@@ -271,23 +405,47 @@ type Agent struct {
 	missScratch []NodeID
 
 	consecSendFail int
-	onChildFailed  func(child NodeID)
-	onParentFailed func()
 	stopped        bool
 }
 
-// newInterval takes an interval from the pool (or allocates one, creating
-// its prebound timeout callback) and resets it for (rt, k).
+// runtimeFor returns the runtime registered for q, or nil.
+func (a *Agent) runtimeFor(q ID) *runtime {
+	for _, rt := range a.queries {
+		if rt.spec.ID == q {
+			return rt
+		}
+	}
+	return nil
+}
+
+// firstQuery and queryAfterID iterate the registered queries in
+// ascending ID, robustly against re-entrant registration changes
+// (failure handlers can deregister mid-walk).
+func (a *Agent) firstQuery() *runtime {
+	if len(a.queries) == 0 {
+		return nil
+	}
+	return a.queries[0]
+}
+
+func (a *Agent) queryAfterID(prev ID) *runtime {
+	for _, rt := range a.queries {
+		if rt.spec.ID > prev {
+			return rt
+		}
+	}
+	return nil
+}
+
+// newInterval takes an interval from the pool (or grabs an arena slab
+// with arena-backed row capacity) and resets it for (rt, k).
 func (a *Agent) newInterval(rt *runtime, k int) *interval {
 	iv := sim.TakeLast(&a.ivFree)
 	if iv == nil {
-		iv = &interval{}
-		ivp := iv
-		iv.timeoutFn = func() {
-			ivp.timeout = nil
-			a.stats.Timeouts++
-			a.closeInterval(ivp.rt, ivp)
-		}
+		iv = sim.ArenaGrab[interval](a.eng, "query.interval")
+		iv.expected = sim.ArenaSlice[NodeID](a.eng, "query.iv.expected", 8)
+		iv.got = sim.ArenaSlice[bool](a.eng, "query.iv.got", 8)
+		iv.extraGot = sim.ArenaSlice[NodeID](a.eng, "query.iv.extra", 2)
 	}
 	iv.k = k
 	iv.value = 0
@@ -307,14 +465,13 @@ func (a *Agent) releaseInterval(iv *interval) {
 	a.ivFree = append(a.ivFree, iv)
 }
 
-// newTxReport takes a report from the pool (or allocates one, creating
-// its prebound callbacks) and binds it to rt.
+// newTxReport takes a report from the pool (or grabs an arena slab,
+// creating its prebound MAC callback) and binds it to rt.
 func (a *Agent) newTxReport(rt *runtime) *txReport {
 	tr := sim.TakeLast(&a.trFree)
 	if tr == nil {
-		tr = &txReport{}
+		tr = sim.ArenaGrab[txReport](a.eng, "query.txreport")
 		trp := tr
-		tr.submitFn = func() { a.submit(trp.rt, trp) }
 		tr.cbFn = func(ok bool) { a.sendDone(trp, ok) }
 	}
 	tr.rt = rt
@@ -326,9 +483,9 @@ func (a *Agent) releaseTxReport(tr *txReport) {
 	a.trFree = append(a.trFree, tr)
 }
 
-// NewAgent wires a query agent. sink may be nil (non-root nodes); send
-// must deliver to the MAC or a power manager's gate.
-func NewAgent(eng *sim.Engine, id NodeID, tree *routing.Tree, shaper Shaper, send SendFunc, sink Sink, cfg Config) *Agent {
+// NewAgent wires a query agent. sink may be nil (non-root nodes); host
+// must deliver reports to the MAC or a power manager's gate.
+func NewAgent(eng *sim.Engine, id NodeID, tree *routing.Tree, shaper Shaper, host Host, sink Sink, cfg Config) *Agent {
 	if cfg.ReportBytes <= 0 {
 		panic("query: ReportBytes must be positive")
 	}
@@ -339,17 +496,19 @@ func NewAgent(eng *sim.Engine, id NodeID, tree *routing.Tree, shaper Shaper, sen
 	if cfg.Sampler == nil {
 		cfg.Sampler = func(q ID, k int) float64 { return float64(id) }
 	}
-	return &Agent{
+	a := sim.ArenaGrab[Agent](eng, "query.agent")
+	*a = Agent{
 		eng:     eng,
 		id:      id,
 		tree:    tree,
 		shaper:  shaper,
-		send:    send,
+		host:    host,
 		sink:    sink,
 		cfg:     cfg,
 		agg:     agg,
-		queries: make(map[ID]*runtime),
+		queries: sim.ArenaSlice[*runtime](eng, "query.queries", 4)[:0],
 	}
+	return a
 }
 
 // Stats returns a copy of the agent counters.
@@ -357,15 +516,6 @@ func (a *Agent) Stats() Stats { return a.stats }
 
 // Shaper returns the agent's shaper.
 func (a *Agent) Shaper() Shaper { return a.shaper }
-
-// SetFailureHandlers installs node-level callbacks fired when failure
-// detection trips: onChildFailed when a child missed FailureThreshold
-// consecutive intervals, onParentFailed when FailureThreshold consecutive
-// transmissions to the parent failed.
-func (a *Agent) SetFailureHandlers(onChildFailed func(child NodeID), onParentFailed func()) {
-	a.onChildFailed = onChildFailed
-	a.onParentFailed = onParentFailed
-}
 
 // Stop halts interval generation (used when a node is killed or
 // crashes). Pending tick events fire but do nothing, breaking each
@@ -382,8 +532,7 @@ func (a *Agent) Resume() {
 	}
 	a.stopped = false
 	now := a.eng.Now()
-	for _, qid := range a.sortedQueryIDs() {
-		rt := a.queries[qid]
+	for rt := a.firstQuery(); rt != nil; rt = a.queryAfterID(rt.spec.ID) {
 		if !rt.chainDead {
 			continue
 		}
@@ -393,7 +542,7 @@ func (a *Agent) Resume() {
 			k = int((now-rt.spec.Phase)/rt.spec.Period) + 1
 		}
 		rt.tickK = k
-		a.eng.Schedule(rt.spec.IntervalStart(k), rt.tickFn)
+		a.eng.ScheduleArg(rt.spec.IntervalStart(k), queryTick, rt)
 	}
 }
 
@@ -403,20 +552,25 @@ func (a *Agent) Register(spec Spec) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
-	if _, dup := a.queries[spec.ID]; dup {
+	if a.runtimeFor(spec.ID) != nil {
 		return fmt.Errorf("query %d: already registered", spec.ID)
 	}
-	rt := &runtime{
+	rt := sim.ArenaGrab[runtime](a.eng, "query.runtime")
+	*rt = runtime{
+		a:           a,
 		spec:        spec,
-		intervals:   make(map[int]*interval),
-		consecMiss:  make(map[NodeID]int),
+		intervals:   sim.ArenaSlice[*interval](a.eng, "query.rt.intervals", 8)[:0],
+		consecMiss:  sim.ArenaSlice[missEntry](a.eng, "query.rt.miss", 4)[:0],
 		lastClosedK: -1,
 	}
-	rt.tickFn = func() { a.startInterval(rt, rt.tickK) }
-	a.queries[spec.ID] = rt
+	// Insert keeping ascending spec.ID order.
+	a.queries = append(a.queries, rt)
+	for i := len(a.queries) - 1; i > 0 && a.queries[i-1].spec.ID > rt.spec.ID; i-- {
+		a.queries[i-1], a.queries[i] = a.queries[i], a.queries[i-1]
+	}
 	a.shaper.QueryAdded(spec, a.tree.Children(a.id))
 	rt.tickK = 0
-	a.eng.Schedule(spec.Phase, rt.tickFn)
+	a.eng.ScheduleArg(spec.Phase, queryTick, rt)
 	return nil
 }
 
@@ -425,18 +579,18 @@ func (a *Agent) startInterval(rt *runtime, k int) {
 		rt.chainDead = true
 		return
 	}
-	if _, ok := a.queries[rt.spec.ID]; !ok {
+	if a.runtimeFor(rt.spec.ID) != rt {
 		return // deregistered
 	}
 	// Schedule the next interval first so the chain never breaks.
 	rt.tickK = k + 1
-	a.eng.Schedule(rt.spec.IntervalStart(k+1), rt.tickFn)
+	a.eng.ScheduleArg(rt.spec.IntervalStart(k+1), queryTick, rt)
 
 	iv := a.newInterval(rt, k)
 	iv.value = a.cfg.Sampler(rt.spec.ID, k)
 	iv.coverage = 1
 	a.stats.Samples++
-	rt.intervals[k] = iv
+	rt.intervals = append(rt.intervals, iv)
 	for _, c := range a.tree.Children(a.id) {
 		iv.expected = append(iv.expected, c)
 		iv.got = append(iv.got, false)
@@ -449,7 +603,7 @@ func (a *Agent) startInterval(rt *runtime, k int) {
 	if now := a.eng.Now(); deadline < now {
 		deadline = now
 	}
-	iv.timeout = a.eng.Schedule(deadline, iv.timeoutFn)
+	iv.timeout = a.eng.ScheduleArg(deadline, intervalTimeout, iv)
 }
 
 // closeInterval finalizes interval k: informs the shaper of missing
@@ -470,8 +624,7 @@ func (a *Agent) closeInterval(rt *runtime, iv *interval) {
 	// late and forwarded as a pass-through. A pruned interval is recycled
 	// once it is closed with no timeout pending (the normal case: its
 	// deadline is bounded by roughly one period).
-	if old, ok := rt.intervals[iv.k-8]; ok {
-		delete(rt.intervals, iv.k-8)
+	if old := rt.removeInterval(iv.k - 8); old != nil {
 		if old.closed && old.timeout == nil {
 			a.releaseInterval(old)
 		}
@@ -489,10 +642,9 @@ func (a *Agent) closeInterval(rt *runtime, iv *interval) {
 	}
 	a.shaper.IntervalClosed(rt.spec.ID, iv.k, missing)
 	for _, c := range missing {
-		rt.consecMiss[c]++
-		if a.cfg.FailureThreshold > 0 && rt.consecMiss[c] >= a.cfg.FailureThreshold && a.onChildFailed != nil {
-			rt.consecMiss[c] = 0
-			a.onChildFailed(c)
+		if n := rt.bumpMiss(c); a.cfg.FailureThreshold > 0 && n >= a.cfg.FailureThreshold {
+			rt.zeroMiss(c)
+			a.host.ChildFailed(c)
 		}
 	}
 	a.missScratch = missing[:0]
@@ -512,7 +664,7 @@ func (a *Agent) closeInterval(rt *runtime, iv *interval) {
 	if now := a.eng.Now(); sendAt < now {
 		sendAt = now
 	}
-	a.eng.Schedule(sendAt, tr.submitFn)
+	a.eng.ScheduleArg(sendAt, txSubmit, tr)
 }
 
 func (a *Agent) submit(rt *runtime, tr *txReport) {
@@ -521,7 +673,7 @@ func (a *Agent) submit(rt *runtime, tr *txReport) {
 		a.releaseTxReport(tr)
 		return
 	}
-	if cur, ok := a.queries[rep.Query]; !ok || cur != rt {
+	if a.runtimeFor(rep.Query) != rt {
 		// The query was deregistered (mid-run stop, burst teardown) while
 		// this report waited for its send time: drop it silently — the
 		// shaper's schedule state for it is already gone.
@@ -539,9 +691,9 @@ func (a *Agent) submit(rt *runtime, tr *txReport) {
 			a.shaper.ReportFailed(rep.Query, rep.Interval)
 		}
 		a.consecSendFail++
-		if a.cfg.FailureThreshold > 0 && a.consecSendFail >= a.cfg.FailureThreshold && a.onParentFailed != nil {
+		if a.cfg.FailureThreshold > 0 && a.consecSendFail >= a.cfg.FailureThreshold {
 			a.consecSendFail = 0
-			a.onParentFailed()
+			a.host.ParentFailed()
 		}
 		a.releaseTxReport(tr)
 		return
@@ -556,7 +708,7 @@ func (a *Agent) submit(rt *runtime, tr *txReport) {
 	} else {
 		a.stats.ReportsSent++
 	}
-	a.send(parent, rep, bytes, tr.cbFn)
+	a.host.SendReport(parent, rep, bytes, tr.cbFn)
 }
 
 // sendDone is the MAC-completion path for a submitted report. The MAC is
@@ -568,7 +720,7 @@ func (a *Agent) sendDone(tr *txReport, ok bool) {
 		a.releaseTxReport(tr)
 		return
 	}
-	if cur, reg := a.queries[rep.Query]; !reg || cur != tr.rt {
+	if a.runtimeFor(rep.Query) != tr.rt {
 		// Deregistered while the MAC held the frame: the delivery already
 		// happened (or failed) on the air, but the shaper must not see
 		// hooks for a query it has forgotten.
@@ -581,9 +733,9 @@ func (a *Agent) sendDone(tr *txReport, ok bool) {
 		if !rep.PassThrough {
 			a.shaper.ReportFailed(rep.Query, rep.Interval)
 		}
-		if a.cfg.FailureThreshold > 0 && a.consecSendFail >= a.cfg.FailureThreshold && a.onParentFailed != nil {
+		if a.cfg.FailureThreshold > 0 && a.consecSendFail >= a.cfg.FailureThreshold {
 			a.consecSendFail = 0
-			a.onParentFailed()
+			a.host.ParentFailed()
 		}
 		a.releaseTxReport(tr)
 		return
@@ -598,8 +750,8 @@ func (a *Agent) sendDone(tr *txReport, ok bool) {
 // HandleReport processes a report received from a child (via the node's
 // MAC dispatcher).
 func (a *Agent) HandleReport(from NodeID, rep *Report) {
-	rt, ok := a.queries[rep.Query]
-	if !ok {
+	rt := a.runtimeFor(rep.Query)
+	if rt == nil {
 		return // query not registered here (should not happen in-tree)
 	}
 	if a.id == a.tree.Root() && a.sink != nil {
@@ -618,11 +770,11 @@ func (a *Agent) HandleReport(from NodeID, rep *Report) {
 		return
 	}
 
-	rt.consecMiss[from] = 0
+	rt.zeroMiss(from)
 	a.shaper.ReportReceived(rep.Query, from, rep.Interval, rep.Phase)
 
-	iv, open := rt.intervals[rep.Interval]
-	if !open || iv.closed {
+	iv := rt.interval(rep.Interval)
+	if iv == nil || iv.closed {
 		a.stats.LateReports++
 		a.handleLate(rt, rep)
 		return
@@ -658,7 +810,7 @@ func (a *Agent) HandleReport(from NodeID, rep *Report) {
 // keeps deep sources' data flowing to the root even when intermediate
 // deadlines fired, so root-side latency reflects true end-to-end delay.
 func (a *Agent) handleLate(rt *runtime, rep *Report) {
-	if iv, open := rt.intervals[rep.Interval]; open && !iv.closed {
+	if iv := rt.interval(rep.Interval); iv != nil && !iv.closed {
 		iv.value = a.agg(iv.value, rep.Value)
 		iv.coverage += rep.Coverage
 		return
@@ -683,36 +835,23 @@ func (a *Agent) HandleControl(from NodeID, msg any) {
 	a.shaper.ControlReceived(from, msg)
 }
 
-// sortedQueryIDs returns the registered query IDs in ascending order.
-// Maintenance hooks iterate queries in this order because they mutate
-// shaper and sleep state (and may schedule events): map order would vary
-// the seq tie-break of same-instant events and break run determinism.
-func (a *Agent) sortedQueryIDs() []ID {
-	ids := make([]ID, 0, len(a.queries))
-	for id := range a.queries {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
 // ChildAdded registers a new dependency on child (it was re-parented
 // under this node). It takes effect from the next interval of each query.
 func (a *Agent) ChildAdded(child NodeID) {
-	for _, qid := range a.sortedQueryIDs() {
-		a.shaper.ChildAdded(qid, child)
+	for rt := a.firstQuery(); rt != nil; rt = a.queryAfterID(rt.spec.ID) {
+		a.shaper.ChildAdded(rt.spec.ID, child)
 	}
 }
 
 // ChildRemoved drops the dependency on child: open intervals stop waiting
 // for it and the shaper forgets its expected reception times.
 func (a *Agent) ChildRemoved(child NodeID) {
-	for _, qid := range a.sortedQueryIDs() {
-		rt := a.queries[qid]
-		a.shaper.ChildRemoved(qid, child)
-		delete(rt.consecMiss, child)
-		for _, k := range rt.sortedIntervalKs() {
-			iv := rt.intervals[k]
+	for rt := a.firstQuery(); rt != nil; rt = a.queryAfterID(rt.spec.ID) {
+		a.shaper.ChildRemoved(rt.spec.ID, child)
+		rt.dropMiss(child)
+		// intervalAfter, not a range: closing can prune intervals and
+		// re-enter via the failure handlers.
+		for iv := rt.intervalAfter(-1); iv != nil; iv = rt.intervalAfter(iv.k) {
 			if iv.closed {
 				continue
 			}
@@ -738,8 +877,8 @@ func (a *Agent) ChildRemoved(child NodeID) {
 
 // ParentChanged informs the shaper the node was re-parented.
 func (a *Agent) ParentChanged() {
-	for _, qid := range a.sortedQueryIDs() {
-		a.shaper.ParentChanged(qid)
+	for rt := a.firstQuery(); rt != nil; rt = a.queryAfterID(rt.spec.ID) {
+		a.shaper.ParentChanged(rt.spec.ID)
 	}
 	a.consecSendFail = 0
 }
@@ -748,14 +887,13 @@ func (a *Agent) ParentChanged() {
 // open intervals are abandoned, and the shaper forgets the schedule so
 // Safe Sleep no longer wakes the node for it. Unknown IDs are no-ops.
 func (a *Agent) Deregister(q ID) {
-	rt, ok := a.queries[q]
-	if !ok {
+	rt := a.runtimeFor(q)
+	if rt == nil {
 		return
 	}
-	// Ascending k, not map order: Deregister runs on the event path
+	// Ascending k (the slice order): Deregister runs on the event path
 	// (mid-run query stops).
-	for _, k := range rt.sortedIntervalKs() {
-		iv := rt.intervals[k]
+	for _, iv := range rt.intervals {
 		if iv.timeout != nil {
 			iv.timeout.Cancel()
 			iv.timeout = nil
@@ -763,15 +901,21 @@ func (a *Agent) Deregister(q ID) {
 		iv.closed = true
 		a.releaseInterval(iv)
 	}
-	delete(a.queries, q)
+	rt.intervals = rt.intervals[:0]
+	for i, cur := range a.queries {
+		if cur == rt {
+			a.queries = append(a.queries[:i], a.queries[i+1:]...)
+			break
+		}
+	}
 	a.shaper.QueryRemoved(q)
 }
 
-// Queries returns the IDs of registered queries in unspecified order.
+// Queries returns the IDs of registered queries in ascending order.
 func (a *Agent) Queries() []ID {
 	out := make([]ID, 0, len(a.queries))
-	for id := range a.queries {
-		out = append(out, id)
+	for _, rt := range a.queries {
+		out = append(out, rt.spec.ID)
 	}
 	return out
 }

@@ -90,8 +90,9 @@ func (s *testSink) IntervalClosed(q ID, k int, latency time.Duration, coverage i
 }
 
 // chainFixture builds a 3-node chain tree (0=root, 1 middle, 2 leaf) and
-// an agent for the middle node with captured sends.
-func chainFixture(t *testing.T) (*sim.Engine, *routing.Tree, *Agent, *stubShaper, *[]sentRec) {
+// an agent for the middle node with captured sends. Tests hook failure
+// detection by setting the returned host's handler fields.
+func chainFixture(t *testing.T) (*sim.Engine, *routing.Tree, *Agent, *stubShaper, *[]sentRec, *HostFuncs) {
 	t.Helper()
 	eng := sim.New(1)
 	topo, err := topology.FromPositions(geom.LinePlacement(3, 100), 125)
@@ -104,11 +105,11 @@ func chainFixture(t *testing.T) (*sim.Engine, *routing.Tree, *Agent, *stubShaper
 	}
 	sh := newStubShaper()
 	var sent []sentRec
-	send := func(dst NodeID, payload any, bytes int, cb func(bool)) {
+	host := &HostFuncs{Send: func(dst NodeID, payload any, bytes int, cb func(bool)) {
 		sent = append(sent, sentRec{dst: dst, rep: payload.(*Report), bytes: bytes, cb: cb})
-	}
-	a := NewAgent(eng, 1, tree, sh, send, nil, DefaultConfig())
-	return eng, tree, a, sh, &sent
+	}}
+	a := NewAgent(eng, 1, tree, sh, host, nil, DefaultConfig())
+	return eng, tree, a, sh, &sent, host
 }
 
 var spec = Spec{ID: 1, Period: time.Second, Phase: 100 * time.Millisecond, Class: 1}
@@ -132,7 +133,7 @@ func TestIntervalStart(t *testing.T) {
 }
 
 func TestDuplicateRegistrationRejected(t *testing.T) {
-	_, _, a, _, _ := chainFixture(t)
+	_, _, a, _, _, _ := chainFixture(t)
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestDuplicateRegistrationRejected(t *testing.T) {
 }
 
 func TestAggregationAndForwarding(t *testing.T) {
-	eng, _, a, sh, sent := chainFixture(t)
+	eng, _, a, sh, sent, _ := chainFixture(t)
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestAggregationAndForwarding(t *testing.T) {
 }
 
 func TestTimeoutSendsPartialAggregate(t *testing.T) {
-	eng, _, a, sh, sent := chainFixture(t)
+	eng, _, a, sh, sent, _ := chainFixture(t)
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestTimeoutSendsPartialAggregate(t *testing.T) {
 }
 
 func TestLateReportForwardedAsPassThrough(t *testing.T) {
-	eng, _, a, _, sent := chainFixture(t)
+	eng, _, a, _, sent, _ := chainFixture(t)
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestLateReportForwardedAsPassThrough(t *testing.T) {
 }
 
 func TestPassThroughMergedIntoOpenInterval(t *testing.T) {
-	eng, _, a, _, sent := chainFixture(t)
+	eng, _, a, _, sent, _ := chainFixture(t)
 	longDeadline := newStubShaper()
 	longDeadline.deadline = func(q ID, k int) time.Duration {
 		return spec.IntervalStart(k) + 900*time.Millisecond
@@ -256,9 +257,9 @@ func TestPassThroughMergedIntoOpenInterval(t *testing.T) {
 }
 
 func TestReportFailedHookAndFailureDetection(t *testing.T) {
-	eng, _, a, sh, sent := chainFixture(t)
+	eng, _, a, sh, sent, host := chainFixture(t)
 	parentFailures := 0
-	a.SetFailureHandlers(nil, func() { parentFailures++ })
+	host.OnParentFailed = func() { parentFailures++ }
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -291,9 +292,9 @@ func TestReportFailedHookAndFailureDetection(t *testing.T) {
 }
 
 func TestChildFailureDetection(t *testing.T) {
-	eng, _, a, _, _ := chainFixture(t)
+	eng, _, a, _, _, host := chainFixture(t)
 	var failedChildren []NodeID
-	a.SetFailureHandlers(func(c NodeID) { failedChildren = append(failedChildren, c) }, nil)
+	host.OnChildFailed = func(c NodeID) { failedChildren = append(failedChildren, c) }
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestChildFailureDetection(t *testing.T) {
 }
 
 func TestChildRemovedClosesWaitingInterval(t *testing.T) {
-	eng, _, a, _, sent := chainFixture(t)
+	eng, _, a, _, sent, _ := chainFixture(t)
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -327,9 +328,9 @@ func TestRootRecordsArrivalsAndClosures(t *testing.T) {
 	tree, _ := routing.BuildBFS(topo, 0, 0)
 	sink := &testSink{}
 	sh := newStubShaper()
-	a := NewAgent(eng, 0, tree, sh, func(NodeID, any, int, func(bool)) {
+	a := NewAgent(eng, 0, tree, sh, &HostFuncs{Send: func(NodeID, any, int, func(bool)) {
 		t.Fatal("root must not send reports")
-	}, sink, DefaultConfig())
+	}}, sink, DefaultConfig())
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +347,7 @@ func TestRootRecordsArrivalsAndClosures(t *testing.T) {
 }
 
 func TestStalePayloadFromNonChildNotTreatedAsScheduled(t *testing.T) {
-	eng, tree, a, sh, _ := chainFixture(t)
+	eng, tree, a, sh, _, _ := chainFixture(t)
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +364,7 @@ func TestStalePayloadFromNonChildNotTreatedAsScheduled(t *testing.T) {
 }
 
 func TestStopHaltsGeneration(t *testing.T) {
-	eng, _, a, _, sent := chainFixture(t)
+	eng, _, a, _, sent, _ := chainFixture(t)
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func TestStopHaltsGeneration(t *testing.T) {
 }
 
 func TestUnknownQueryIgnored(t *testing.T) {
-	eng, _, a, _, _ := chainFixture(t)
+	eng, _, a, _, _, _ := chainFixture(t)
 	a.HandleReport(2, &Report{Query: 99, Interval: 0, Coverage: 1, Phase: NoPhase})
 	eng.Run(time.Millisecond) // no panic
 }
@@ -388,9 +389,9 @@ func TestPhaseBytesAddedWhenPiggybacking(t *testing.T) {
 	sh := newStubShaper()
 	var sent []sentRec
 	phaseShaper := &phaseStub{stubShaper: sh}
-	a := NewAgent(eng, 2, tree, phaseShaper, func(dst NodeID, payload any, bytes int, cb func(bool)) {
+	a := NewAgent(eng, 2, tree, phaseShaper, &HostFuncs{Send: func(dst NodeID, payload any, bytes int, cb func(bool)) {
 		sent = append(sent, sentRec{dst: dst, rep: payload.(*Report), bytes: bytes, cb: cb})
-	}, nil, DefaultConfig())
+	}}, nil, DefaultConfig())
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -419,7 +420,7 @@ func TestMaxAgg(t *testing.T) {
 }
 
 func TestStopBreaksAndResumeRestartsIntervalChain(t *testing.T) {
-	eng, _, a, _, sent := chainFixture(t)
+	eng, _, a, _, sent, _ := chainFixture(t)
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +453,7 @@ func TestStopBreaksAndResumeRestartsIntervalChain(t *testing.T) {
 }
 
 func TestResumeWithoutStopIsNoOp(t *testing.T) {
-	eng, _, a, _, sent := chainFixture(t)
+	eng, _, a, _, sent, _ := chainFixture(t)
 	if err := a.Register(spec); err != nil {
 		t.Fatal(err)
 	}

@@ -79,6 +79,18 @@ func (c Config) BreakEven() time.Duration {
 // Listener observes radio state changes.
 type Listener func(old, new State)
 
+// RadioStateChanged implements StateListener, so a bare func can be
+// subscribed via Subscribe.
+func (l Listener) RadioStateChanged(old, new State) { l(old, new) }
+
+// StateListener observes radio state changes through an interface
+// method. Hot subscribers (the channel, the MAC, Safe Sleep) implement
+// it directly so subscribing stores an existing object instead of
+// allocating a closure per node per run.
+type StateListener interface {
+	RadioStateChanged(old, new State)
+}
+
 // Radio is a simulated radio attached to a sim.Engine.
 // It starts in the Idle (on, listening) state at time zero.
 type Radio struct {
@@ -89,7 +101,7 @@ type Radio struct {
 	lastChange time.Duration
 	timeIn     [numStates]time.Duration
 
-	listeners []Listener
+	listeners []StateListener
 
 	transition *sim.Event
 	pendingOff bool // TurnOff requested during Tx; applied at EndTx
@@ -99,11 +111,23 @@ type Radio struct {
 	sleepStart     time.Duration
 	sleepIntervals []time.Duration
 
-	// Prebound transition-complete callbacks; radios transition thousands
-	// of times per run, so per-call closures would dominate allocations.
-	turnOnDoneFn, turnOffDoneFn func()
-
 	dead bool
+}
+
+// Transition-complete dispatchers, shared by every radio: transitions
+// happen thousands of times per run, so the events carry the radio as
+// their argument instead of a per-radio closure.
+func turnOnDone(x any) {
+	r := x.(*Radio)
+	r.transition = nil
+	r.setState(Idle)
+}
+
+func turnOffDone(x any) {
+	r := x.(*Radio)
+	r.transition = nil
+	r.setState(Off)
+	r.afterOff()
 }
 
 // New returns a radio in the Idle state.
@@ -111,16 +135,11 @@ func New(eng *sim.Engine, cfg Config) *Radio {
 	if cfg.TurnOnDelay < 0 || cfg.TurnOffDelay < 0 {
 		panic("radio: negative transition delay")
 	}
-	r := &Radio{eng: eng, cfg: cfg, state: Idle, lastChange: eng.Now()}
-	r.turnOnDoneFn = func() {
-		r.transition = nil
-		r.setState(Idle)
-	}
-	r.turnOffDoneFn = func() {
-		r.transition = nil
-		r.setState(Off)
-		r.afterOff()
-	}
+	r := sim.ArenaGrab[Radio](eng, "radio.radio")
+	*r = Radio{eng: eng, cfg: cfg, state: Idle, lastChange: eng.Now(),
+		// A node's stack subscribes a handful of listeners (channel, MAC,
+		// Safe Sleep, optionally a tracer); seed with arena-backed capacity.
+		listeners: sim.ArenaSlice[StateListener](eng, "radio.listeners", 4)[:0]}
 	return r
 }
 
@@ -140,9 +159,15 @@ func (r *Radio) IsListening() bool { return r.state == Idle || r.state == Rx }
 // CanReceive reports whether the radio can begin receiving a new frame.
 func (r *Radio) CanReceive() bool { return r.state == Idle }
 
-// Subscribe registers a listener for state changes. Listeners are invoked
-// synchronously in registration order.
-func (r *Radio) Subscribe(l Listener) { r.listeners = append(r.listeners, l) }
+// Subscribe registers a listener func for state changes. Listeners are
+// invoked synchronously in registration order. Boxing the func allocates;
+// hot per-node subscribers should implement StateListener and use
+// SubscribeState instead.
+func (r *Radio) Subscribe(l Listener) { r.SubscribeState(l) }
+
+// SubscribeState registers a StateListener for state changes, sharing
+// the registration order with Subscribe.
+func (r *Radio) SubscribeState(l StateListener) { r.listeners = append(r.listeners, l) }
 
 // RecordSleepIntervals enables recording of completed Off-period lengths,
 // used for the paper's sleep-interval histogram (Fig. 8).
@@ -170,7 +195,7 @@ func (r *Radio) setState(s State) {
 		}
 	}
 	for _, l := range r.listeners {
-		l(old, s)
+		l.RadioStateChanged(old, s)
 	}
 }
 
@@ -221,7 +246,7 @@ func (r *Radio) TurnOn() {
 		return
 	}
 	r.setState(TurningOn)
-	r.transition = r.eng.After(r.cfg.TurnOnDelay, r.turnOnDoneFn)
+	r.transition = r.eng.AfterArg(r.cfg.TurnOnDelay, turnOnDone, r)
 }
 
 // TurnOff initiates the Idle→Off transition. Called during Rx it aborts
@@ -255,7 +280,7 @@ func (r *Radio) TurnOff() {
 		return
 	}
 	r.setState(TurningOff)
-	r.transition = r.eng.After(r.cfg.TurnOffDelay, r.turnOffDoneFn)
+	r.transition = r.eng.AfterArg(r.cfg.TurnOffDelay, turnOffDone, r)
 }
 
 func (r *Radio) afterOff() {

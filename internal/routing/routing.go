@@ -110,6 +110,29 @@ func BuildBFS(topo *topology.Topology, root NodeID, maxDist float64) (*Tree, err
 	return t, nil
 }
 
+// Clone returns a deep copy of the tree sharing the immutable topology.
+// Deployment caches hand each run its own clone: runs mutate their tree
+// (failure marking, re-parenting, detachment) and must never corrupt the
+// cached template.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		topo:     t.topo,
+		root:     t.root,
+		parent:   append([]NodeID(nil), t.parent...),
+		children: make([][]NodeID, len(t.children)),
+		level:    append([]int(nil), t.level...),
+		rank:     append([]int(nil), t.rank...),
+		member:   append([]bool(nil), t.member...),
+		alive:    append([]bool(nil), t.alive...),
+	}
+	for i, cs := range t.children {
+		if len(cs) > 0 {
+			c.children[i] = append([]NodeID(nil), cs...)
+		}
+	}
+	return c
+}
+
 // Root returns the tree root.
 func (t *Tree) Root() NodeID { return t.root }
 

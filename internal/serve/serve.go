@@ -82,6 +82,11 @@ type Stats struct {
 	InFlight int64  `json:"in_flight"`
 	Queued   int64  `json:"queued"`
 	Draining bool   `json:"draining"`
+	// CacheHits and CacheMisses count deployment-cache outcomes across
+	// all workers: a hit means the run skipped topology placement and
+	// tree construction because an identical deployment was built before.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
 }
 
 // RunResponse is the JSON body of a successful POST /run.
@@ -143,6 +148,12 @@ type Server struct {
 
 	ok, badSpec, shed, budget, panics, canceled atomic.Uint64
 
+	// arenas pools one reusable experiment.Arena per worker slot; all
+	// arenas share cache, so repeated identical specs skip deployment
+	// construction regardless of which worker picks them up.
+	arenas chan *experiment.Arena
+	cache  *experiment.DeployCache
+
 	mux *http.ServeMux
 }
 
@@ -171,6 +182,11 @@ func New(cfg Config) *Server {
 		slots:    make(chan struct{}, cfg.Workers),
 		waiting:  make(chan struct{}, cfg.Queue),
 		draining: make(chan struct{}),
+		arenas:   make(chan *experiment.Arena, cfg.Workers),
+		cache:    experiment.NewDeployCache(0),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.arenas <- experiment.NewArenaWithCache(s.cache)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)
@@ -207,16 +223,19 @@ func (s *Server) Draining() bool {
 
 // Stats snapshots the request counters.
 func (s *Server) Stats() Stats {
+	hits, misses := s.cache.Stats()
 	return Stats{
-		OK:       s.ok.Load(),
-		BadSpec:  s.badSpec.Load(),
-		Shed:     s.shed.Load(),
-		Budget:   s.budget.Load(),
-		Panics:   s.panics.Load(),
-		Canceled: s.canceled.Load(),
-		InFlight: s.inFlight.Load(),
-		Queued:   s.queued.Load(),
-		Draining: s.Draining(),
+		OK:          s.ok.Load(),
+		BadSpec:     s.badSpec.Load(),
+		Shed:        s.shed.Load(),
+		Budget:      s.budget.Load(),
+		Panics:      s.panics.Load(),
+		Canceled:    s.canceled.Load(),
+		InFlight:    s.inFlight.Load(),
+		Queued:      s.queued.Load(),
+		Draining:    s.Draining(),
+		CacheHits:   hits,
+		CacheMisses: misses,
 	}
 }
 
@@ -378,8 +397,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
+	// One pooled arena per worker slot: the semaphore guarantees at most
+	// Workers goroutines reach this point, so the receive never blocks.
+	arena := <-s.arenas
+	defer func() { s.arenas <- arena }()
+
 	start := time.Now()
-	res, err := experiment.RunSpecContext(r.Context(), spec, budget)
+	res, err := experiment.RunSpecContextWith(r.Context(), arena, spec, budget)
 	elapsed := time.Since(start)
 
 	if err != nil {
@@ -387,6 +411,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		var be *experiment.BudgetExceededError
 		switch {
 		case errors.As(err, &pe):
+			// A stack that panicked mid-event may have left the pooled
+			// engine inconsistent in ways Reset cannot repair; drop it.
+			arena.Discard()
 			s.panics.Add(1)
 			s.logf("panic: protocol %s seed %d: %v\n%s", pe.Protocol, pe.Seed, pe.Value, pe.Stack)
 			writeJSON(w, http.StatusInternalServerError, ErrorResponse{

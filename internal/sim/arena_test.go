@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestResetMatchesFreshEngine replays the DeterminismAcrossRuns trace
+// shape on a reset engine and checks it is identical to a fresh one:
+// clock, rng stream, sequence numbers, and event order all rewind.
+func TestResetMatchesFreshEngine(t *testing.T) {
+	trace := func(e *Engine) []time.Duration {
+		var out []time.Duration
+		var step func()
+		step = func() {
+			out = append(out, e.Now())
+			if len(out) < 50 {
+				jitter := time.Duration(e.Rand().Intn(1000)) * time.Microsecond
+				e.After(jitter+time.Microsecond, step)
+			}
+		}
+		e.Schedule(0, step)
+		e.RunAll()
+		return out
+	}
+	fresh := trace(New(42))
+	e := New(7) // different seed, then reset to 42
+	trace(e)
+	e.Reset(42)
+	if e.Now() != 0 || e.Pending() != 0 || e.Processed() != 0 {
+		t.Fatalf("Reset left now=%v pending=%d processed=%d, want zeros",
+			e.Now(), e.Pending(), e.Processed())
+	}
+	reused := trace(e)
+	if len(fresh) != len(reused) {
+		t.Fatalf("trace lengths differ: fresh %d vs reset %d", len(fresh), len(reused))
+	}
+	for i := range fresh {
+		if fresh[i] != reused[i] {
+			t.Fatalf("trace diverges at %d: fresh %v vs reset %v", i, fresh[i], reused[i])
+		}
+	}
+}
+
+// TestResetDrainsPendingEvents resets an engine with events parked on
+// every wheel level and the overflow heap, and checks none of them fire
+// and all structs are recycled through the freelist.
+func TestResetDrainsPendingEvents(t *testing.T) {
+	e := New(1)
+	fired := 0
+	fn := func() { fired++ }
+	delays := []time.Duration{
+		50 * time.Microsecond, // level 0
+		10 * time.Millisecond, // level 1
+		5 * time.Second,       // level 2
+		30 * time.Minute,      // level 3
+		3 * time.Hour,         // overflow heap
+	}
+	for _, d := range delays {
+		e.Schedule(d, fn)
+	}
+	e.Reset(1)
+	if got := len(e.free); got != len(delays) {
+		t.Fatalf("freelist holds %d events after Reset, want %d", got, len(delays))
+	}
+	if n := e.RunAll(); n != 0 || fired != 0 {
+		t.Fatalf("reset engine fired %d events (%d callbacks), want 0", n, fired)
+	}
+	// The recycled structs must come back clean.
+	ev := e.Schedule(time.Second, fn)
+	if ev.Canceled() {
+		t.Fatal("recycled event inherited a stale canceled flag across Reset")
+	}
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("post-reset schedule fired %d times, want 1", fired)
+	}
+}
+
+// TestSteadyStateZeroAllocAcrossResets is the cross-run extension of
+// TestSteadyStateZeroAlloc: once the freelist and arena slabs are warm,
+// an entire Reset → populate → drain cycle — the shape of one sweep
+// point in a repeated-spec sweep — must not allocate.
+func TestSteadyStateZeroAllocAcrossResets(t *testing.T) {
+	e := New(1)
+	e.SetArena(NewArena())
+	fn := func() {}
+	cycle := func() {
+		e.Reset(1)
+		for i := 0; i < 64; i++ {
+			_ = ArenaSlice[uint64](e, "test.slice", 32)
+			_ = ArenaGrab[Event](e, "test.slab")
+			e.Schedule(time.Duration(i)*time.Microsecond, fn)
+		}
+		e.RunAll()
+	}
+	cycle() // warm-up: populate freelist, slabs, and backing arrays
+	allocs := testing.AllocsPerRun(100, cycle)
+	if allocs != 0 {
+		t.Errorf("steady-state Reset+run cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestArenaSliceZeroedAndSized checks arena slices come back zeroed and
+// correctly sized across reuse, including size-mismatch replacement.
+func TestArenaSliceZeroedAndSized(t *testing.T) {
+	e := New(1)
+	e.SetArena(NewArena())
+	s := ArenaSlice[int](e, "t", 8)
+	if len(s) != 8 {
+		t.Fatalf("len = %d, want 8", len(s))
+	}
+	for i := range s {
+		s[i] = i + 1
+	}
+	e.Reset(1)
+	s2 := ArenaSlice[int](e, "t", 8)
+	if &s[0] != &s2[0] {
+		t.Fatal("same-size request after Reset did not reuse the backing array")
+	}
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("reused slice not zeroed at %d: %d", i, v)
+		}
+	}
+	e.Reset(1)
+	s3 := ArenaSlice[int](e, "t", 16) // larger: must be replaced, still zeroed
+	if len(s3) != 16 {
+		t.Fatalf("len = %d, want 16", len(s3))
+	}
+	for i, v := range s3 {
+		if v != 0 {
+			t.Fatalf("grown slice not zeroed at %d: %d", i, v)
+		}
+	}
+}
+
+// TestArenaGrabZeroedAcrossReset checks slab pointers are recycled
+// zeroed after a reset, and distinct within a run.
+func TestArenaGrabZeroedAcrossReset(t *testing.T) {
+	type rec struct{ a, b int }
+	e := New(1)
+	e.SetArena(NewArena())
+	p1 := ArenaGrab[rec](e, "t")
+	p2 := ArenaGrab[rec](e, "t")
+	if p1 == p2 {
+		t.Fatal("two grabs in one run returned the same pointer")
+	}
+	p1.a, p1.b = 3, 4
+	e.Reset(1)
+	q := ArenaGrab[rec](e, "t")
+	if q != p1 {
+		t.Fatal("first grab after Reset did not reuse the slab slot")
+	}
+	if q.a != 0 || q.b != 0 {
+		t.Fatalf("recycled slab slot not zeroed: %+v", *q)
+	}
+}
+
+// TestArenaFallbackWithoutArena checks the helpers degrade to plain
+// allocation when no arena is attached (and on a nil engine).
+func TestArenaFallbackWithoutArena(t *testing.T) {
+	e := New(1)
+	s := ArenaSlice[int](e, "t", 4)
+	if len(s) != 4 {
+		t.Fatalf("len = %d, want 4", len(s))
+	}
+	if p := ArenaGrab[int](e, "t"); p == nil || *p != 0 {
+		t.Fatal("ArenaGrab fallback returned nil or non-zero")
+	}
+	if s := ArenaSlice[int](nil, "t", 4); len(s) != 4 {
+		t.Fatal("nil-engine ArenaSlice fallback broken")
+	}
+}

@@ -62,6 +62,12 @@ type Event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
+	// fnA/arg are the arg-carrying form (ScheduleArg/AfterArg): fnA is a
+	// shared (typically package-level) dispatcher and arg its receiver, so
+	// high-churn callers need no per-object closure. Exactly one of fn and
+	// fnA is set on a live event.
+	fnA func(any)
+	arg any
 	eng *Engine
 
 	// Location state: intrusive doubly-linked slot list when in a wheel,
@@ -159,11 +165,61 @@ type Engine struct {
 	// steady state of Schedule/After/Cancel allocation-free. Its length is
 	// bounded by the peak number of concurrently pending events.
 	free []*Event
+
+	// arena, when attached, supplies per-run memory to the layers built
+	// on this engine; Reset reclaims it together with the scheduler
+	// state (see arena.go).
+	arena *Arena
 }
 
 // New returns an Engine whose random stream is seeded with seed.
 func New(seed int64) *Engine {
 	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reset returns the engine to the state of New(seed) while keeping its
+// allocated capacity: pending events are drained into the freelist
+// (callback references dropped), the overflow heap and occupancy
+// bitmaps are cleared, the clock, sequence counter, cursor and
+// processed count rewind to zero, the observer is detached, the random
+// stream is reseeded (bit-identical to a fresh New(seed) stream), and
+// the attached arena — if any — reclaims its slabs. A run on a reset
+// engine is therefore byte-identical to a run on a fresh engine, but
+// reaches steady-state zero heap growth across repeated runs because
+// the event freelist and arena backing memory survive.
+func (e *Engine) Reset(seed int64) {
+	for l := 0; l < numLevels; l++ {
+		for i := range e.wheels[l] {
+			ev := e.wheels[l][i].head
+			for ev != nil {
+				nxt := ev.next
+				ev.next, ev.prev = nil, nil
+				ev.where = locNone
+				ev.canceled = false
+				e.release(ev)
+				ev = nxt
+			}
+			e.wheels[l][i] = slotList{}
+		}
+		for w := range e.occupied[l] {
+			e.occupied[l][w] = 0
+		}
+	}
+	for i, ev := range e.overflow {
+		ev.where = locNone
+		ev.heapIdx = -1
+		ev.canceled = false
+		e.release(ev)
+		e.overflow[i] = nil
+	}
+	e.overflow = e.overflow[:0]
+	e.now, e.seq, e.cursor = 0, 0, 0
+	e.processed, e.live = 0, 0
+	e.obs = nil
+	e.rng.Seed(seed)
+	if e.arena != nil {
+		e.arena.reset()
+	}
 }
 
 // Now returns the current virtual time.
@@ -216,10 +272,45 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
-// release returns a detached event to the freelist. The callback
-// reference is dropped so captured state is not kept alive by the pool.
+// ScheduleArg registers fn(arg) to run at virtual time at. It is the
+// closure-free form of Schedule for hot callers: fn is typically a
+// package-level dispatcher shared by every event of one kind, and arg
+// (usually a pointer) carries the per-event state, so scheduling does
+// not allocate a captured-variable closure per object.
+func (e *Engine) ScheduleArg(at time.Duration, fn func(any), arg any) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	ev := TakeLast(&e.free)
+	if ev != nil {
+		ev.at, ev.seq, ev.fnA, ev.arg, ev.canceled = at, e.seq, fn, arg, false
+	} else {
+		ev = &Event{at: at, seq: e.seq, fnA: fn, arg: arg, eng: e, heapIdx: -1}
+	}
+	e.seq++
+	if e.live == 0 {
+		e.cursor = uint64(e.now) >> tickShift
+	}
+	e.live++
+	e.insert(ev)
+	return ev
+}
+
+// AfterArg registers fn(arg) to run d from now. Negative d panics.
+func (e *Engine) AfterArg(d time.Duration, fn func(any), arg any) *Event {
+	return e.ScheduleArg(e.now+d, fn, arg)
+}
+
+// release returns a detached event to the freelist. The callback and
+// argument references are dropped so captured state is not kept alive by
+// the pool.
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
+	ev.fnA = nil
+	ev.arg = nil
 	e.free = append(e.free, ev)
 }
 
@@ -404,9 +495,13 @@ func (e *Engine) fire(ev *Event) {
 	e.cursor = uint64(ev.at) >> tickShift
 	e.processed++
 	e.live--
-	fn := ev.fn
+	fn, fnA, arg := ev.fn, ev.fnA, ev.arg
 	e.release(ev)
-	fn()
+	if fnA != nil {
+		fnA(arg)
+	} else {
+		fn()
+	}
 }
 
 // Step executes the next pending event, if any, advancing the clock to

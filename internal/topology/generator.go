@@ -68,6 +68,27 @@ func New(rng *rand.Rand, cfg Config) (*Topology, error) {
 	return fromPositions(pts, cfg.Range, cfg.NeighborRange)
 }
 
+// Replay draws the placement cfg describes from rng and discards it,
+// consuming exactly the random numbers New would. Deployment caches use
+// it on a hit: the expensive adjacency build is skipped, but the run
+// engine's rng stream stays identical to an uncached build, so cached
+// and uncached runs are byte-for-byte the same.
+func Replay(rng *rand.Rand, cfg Config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	name := cfg.Generator
+	if name == "" {
+		name = Uniform
+	}
+	g, ok := LookupGenerator(name)
+	if !ok {
+		return fmt.Errorf("topology: unknown generator %q (registered: %v)", name, GeneratorNames())
+	}
+	_, err := g.Generate(rng, cfg)
+	return err
+}
+
 func (c Config) validate() error {
 	if c.NumNodes <= 0 {
 		return fmt.Errorf("topology: NumNodes must be positive, got %d", c.NumNodes)

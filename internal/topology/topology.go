@@ -26,7 +26,12 @@ type Topology struct {
 	positions []geom.Point
 	rangeM    float64 // nominal communication range
 	neighborR float64 // candidate radius (>= rangeM)
-	neighbors [][]NodeID
+	// Neighbor lists in CSR (compressed sparse row) form: node i's
+	// neighbors are flat[offsets[i]:offsets[i+1]], sorted ascending.
+	// One flat slab instead of N headers keeps the adjacency compact and
+	// cache-friendly, and makes the whole graph two allocations.
+	flat    []NodeID
+	offsets []int32
 }
 
 // Config describes a deployment: its scale plus the placement generator
@@ -94,19 +99,23 @@ func fromPositions(pts []geom.Point, rangeM, neighborR float64) (*Topology, erro
 	if neighborR < rangeM {
 		neighborR = rangeM
 	}
+	flat, offsets := buildNeighbors(pts, neighborR)
 	t := &Topology{
 		positions: append([]geom.Point(nil), pts...),
 		rangeM:    rangeM,
 		neighborR: neighborR,
-		neighbors: buildNeighbors(pts, neighborR),
+		flat:      flat,
+		offsets:   offsets,
 	}
 	return t, nil
 }
 
-// buildNeighbors computes the unit-disc adjacency lists with a grid-
-// bucket spatial hash. Each list is sorted ascending by NodeID.
-func buildNeighbors(pts []geom.Point, rangeM float64) [][]NodeID {
-	neighbors := make([][]NodeID, len(pts))
+// buildNeighbors computes the unit-disc adjacency in CSR form with a
+// grid-bucket spatial hash. Each node's segment is sorted ascending by
+// NodeID, identical to the all-pairs build.
+func buildNeighbors(pts []geom.Point, rangeM float64) ([]NodeID, []int32) {
+	offsets := make([]int32, len(pts)+1)
+	flat := make([]NodeID, 0, 8*len(pts))
 
 	minX, minY := pts[0].X, pts[0].Y
 	maxX, maxY := minX, minY
@@ -137,7 +146,7 @@ func buildNeighbors(pts []geom.Point, rangeM float64) [][]NodeID {
 
 	for i, p := range pts {
 		cx, cy := cellOf(p)
-		out := neighbors[i]
+		start := len(flat)
 		for dy := -ring; dy <= ring; dy++ {
 			y := cy + dy
 			if y < 0 || y >= ny {
@@ -150,17 +159,18 @@ func buildNeighbors(pts []geom.Point, rangeM float64) [][]NodeID {
 				}
 				for _, j := range buckets[y*nx+x] {
 					if j != NodeID(i) && p.InRange(pts[j], rangeM) {
-						out = append(out, j)
+						flat = append(flat, j)
 					}
 				}
 			}
 		}
 		// Bucket traversal visits candidates in cell order; restore the
 		// ascending-ID order the all-pairs build produced.
-		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-		neighbors[i] = out
+		seg := flat[start:]
+		sort.Slice(seg, func(a, b int) bool { return seg[a] < seg[b] })
+		offsets[i+1] = int32(len(flat))
 	}
-	return neighbors
+	return flat, offsets
 }
 
 // NumNodes returns the number of nodes in the deployment.
@@ -182,11 +192,16 @@ func (t *Topology) Positions() []geom.Point {
 }
 
 // Neighbors returns the nodes within communication range of id. The
-// returned slice must not be modified.
-func (t *Topology) Neighbors(id NodeID) []NodeID { return t.neighbors[id] }
+// returned slice is a view into the shared CSR slab and must not be
+// modified.
+func (t *Topology) Neighbors(id NodeID) []NodeID {
+	return t.flat[t.offsets[id]:t.offsets[id+1]]
+}
 
 // Degree returns the number of neighbors of id.
-func (t *Topology) Degree(id NodeID) int { return len(t.neighbors[id]) }
+func (t *Topology) Degree(id NodeID) int {
+	return int(t.offsets[id+1] - t.offsets[id])
+}
 
 // Connected reports whether a and b can hear each other at all: within
 // the candidate-neighbor radius (the nominal range under the unit-disc
@@ -219,7 +234,7 @@ func (t *Topology) Levels(root NodeID) []int {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, nb := range t.neighbors[cur] {
+		for _, nb := range t.Neighbors(cur) {
 			if levels[nb] == -1 {
 				levels[nb] = levels[cur] + 1
 				queue = append(queue, nb)
@@ -259,7 +274,7 @@ func (t *Topology) IsConnectedSubset(root NodeID, ids []NodeID) bool {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, nb := range t.neighbors[cur] {
+		for _, nb := range t.Neighbors(cur) {
 			if in[nb] && !seen[nb] {
 				seen[nb] = true
 				queue = append(queue, nb)

@@ -208,10 +208,10 @@ func TestSpatialHashMatchesAllPairs(t *testing.T) {
 			if tc.n > 3 {
 				pts[1] = pts[0] // coincident pair
 			}
-			got := buildNeighbors(pts, tc.rng)
+			flat, offsets := buildNeighbors(pts, tc.rng)
 			want := naiveNeighbors(pts, tc.rng)
 			for i := range pts {
-				g, w := got[i], want[i]
+				g, w := flat[offsets[i]:offsets[i+1]], want[i]
 				if len(g) != len(w) {
 					t.Fatalf("n=%d side=%g range=%g seed=%d: node %d has %d neighbors, want %d",
 						tc.n, tc.side, tc.rng, seed, i, len(g), len(w))
