@@ -12,9 +12,18 @@
 //
 // Examples:
 //
+// With -corpus the driver replays a generated workload corpus (see
+// essat-campaign gen) instead of repeating one spec: every corpus spec
+// is posted exactly once and the report carries per-status counts, so
+// a BENCH serve block records how the server handled the full
+// protocol × topology × propagation × radio cross-product.
+//
+// Examples:
+//
 //	essat-load -url http://localhost:8080 -n 200 -c 16
 //	essat-load -n 200 -c 16 -malformed 2 -overbudget 2 -check -expect-shed
 //	essat-load -n 500 -c 32 -benchjson BENCH_after.json
+//	essat-load -corpus corpus/ -c 8 -check -benchjson BENCH_after.json
 package main
 
 import (
@@ -26,10 +35,13 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/essat/essat/internal/corpus"
 )
 
 // defaultSpec is a mid-sized run (~150k events, tens of milliseconds)
@@ -65,6 +77,26 @@ func (k kind) expected() int {
 // counters aggregates outcomes across workers.
 type counters struct {
 	ok, badSpec, budget, shed, retries, errors atomic.Uint64
+
+	// statuses counts terminal HTTP statuses (post-retry), for the
+	// per-spec breakdown corpus replays report.
+	statusMu sync.Mutex
+	statuses map[int]uint64
+}
+
+func (c *counters) status(code int) {
+	c.statusMu.Lock()
+	if c.statuses == nil {
+		c.statuses = make(map[int]uint64)
+	}
+	c.statuses[code]++
+	c.statusMu.Unlock()
+}
+
+// job is one request to send: its taxonomy kind plus the body to post.
+type job struct {
+	k    kind
+	body string
 }
 
 func main() {
@@ -73,6 +105,7 @@ func main() {
 		n          = flag.Int("n", 200, "total requests")
 		c          = flag.Int("c", 16, "concurrent workers")
 		specPath   = flag.String("spec", "", "spec file to post (empty = a small built-in DTS-SS run)")
+		corpusDir  = flag.String("corpus", "", "replay a generated corpus directory (essat-campaign gen) instead of repeating one spec; overrides -n/-spec/-malformed/-overbudget")
 		malformed  = flag.Int("malformed", 0, "of the N requests, send this many malformed specs (expect 400)")
 		overbudget = flag.Int("overbudget", 0, "of the N requests, send this many with max_events=1000 (expect 422)")
 		retries    = flag.Int("retries", 14, "max retries per request on 429/503/network errors")
@@ -83,37 +116,65 @@ func main() {
 	)
 	flag.Parse()
 
-	if *n <= 0 || *c <= 0 {
-		fatal(fmt.Errorf("n and c must be positive"))
+	if *c <= 0 {
+		fatal(fmt.Errorf("c must be positive"))
 	}
-	if *malformed+*overbudget > *n {
-		fatal(fmt.Errorf("malformed+overbudget (%d) exceeds n (%d)", *malformed+*overbudget, *n))
-	}
-	spec := defaultSpec
-	if *specPath != "" {
-		data, err := os.ReadFile(*specPath)
+	var jobs chan job
+	corpusSpecs := 0
+	if *corpusDir != "" {
+		// Corpus replay: every spec in the corpus, exactly once. All are
+		// well-formed by the corpus contract, so they all expect 200.
+		if *malformed > 0 || *overbudget > 0 {
+			fatal(fmt.Errorf("-corpus replays only well-formed specs; drop -malformed/-overbudget"))
+		}
+		_, items, err := corpus.Load(*corpusDir)
 		if err != nil {
 			fatal(err)
 		}
-		spec = string(data)
-	}
-
-	// Interleave the special requests through the stream instead of
-	// front-loading them, so they land mid-burst.
-	kinds := make(chan kind, *n)
-	for i, m, o := 0, *malformed, *overbudget; i < *n; i++ {
-		switch {
-		case m > 0 && i%3 == 1:
-			kinds <- kindMalformed
-			m--
-		case o > 0 && i%3 == 2:
-			kinds <- kindOverBudget
-			o--
-		default:
-			kinds <- kindOK
+		corpusSpecs = len(items)
+		*n = len(items)
+		jobs = make(chan job, len(items))
+		for _, it := range items {
+			body, err := json.Marshal(it.Spec)
+			if err != nil {
+				fatal(err)
+			}
+			jobs <- job{k: kindOK, body: string(body)}
 		}
+		close(jobs)
+	} else {
+		if *n <= 0 {
+			fatal(fmt.Errorf("n must be positive"))
+		}
+		if *malformed+*overbudget > *n {
+			fatal(fmt.Errorf("malformed+overbudget (%d) exceeds n (%d)", *malformed+*overbudget, *n))
+		}
+		spec := defaultSpec
+		if *specPath != "" {
+			data, err := os.ReadFile(*specPath)
+			if err != nil {
+				fatal(err)
+			}
+			spec = string(data)
+		}
+
+		// Interleave the special requests through the stream instead of
+		// front-loading them, so they land mid-burst.
+		jobs = make(chan job, *n)
+		for i, m, o := 0, *malformed, *overbudget; i < *n; i++ {
+			switch {
+			case m > 0 && i%3 == 1:
+				jobs <- job{k: kindMalformed, body: spec}
+				m--
+			case o > 0 && i%3 == 2:
+				jobs <- job{k: kindOverBudget, body: spec}
+				o--
+			default:
+				jobs <- job{k: kindOK, body: spec}
+			}
+		}
+		close(jobs)
 	}
-	close(kinds)
 
 	client := &http.Client{Timeout: *timeout}
 	var (
@@ -129,9 +190,9 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(worker) + 1))
 			var local []time.Duration
-			for k := range kinds {
-				lat, ok := doRequest(client, rng, *url, spec, k, *retries, &ctr)
-				if ok && k == kindOK {
+			for jb := range jobs {
+				lat, ok := doRequest(client, rng, *url, jb, *retries, &ctr)
+				if ok && jb.k == kindOK {
 					local = append(local, lat)
 				}
 			}
@@ -144,6 +205,15 @@ func main() {
 	wall := time.Since(start)
 
 	rep := buildReport(*url, *n, *c, wall, latencies, &ctr)
+	if corpusSpecs > 0 {
+		rep.CorpusSpecs = corpusSpecs
+		rep.StatusCounts = make(map[string]uint64, len(ctr.statuses))
+		ctr.statusMu.Lock()
+		for code, cnt := range ctr.statuses {
+			rep.StatusCounts[strconv.Itoa(code)] = cnt
+		}
+		ctr.statusMu.Unlock()
+	}
 	fetchCacheStats(client, *url, &rep)
 	printReport(rep)
 
@@ -176,10 +246,10 @@ func main() {
 // attempt and whether the terminal status matched the kind's
 // expectation. Terminal mismatches and exhausted retries count into
 // ctr.errors.
-func doRequest(client *http.Client, rng *rand.Rand, baseURL, spec string, k kind, maxRetries int, ctr *counters) (time.Duration, bool) {
+func doRequest(client *http.Client, rng *rand.Rand, baseURL string, jb job, maxRetries int, ctr *counters) (time.Duration, bool) {
 	url := baseURL + "/run"
-	body := spec
-	switch k {
+	body := jb.body
+	switch jb.k {
 	case kindMalformed:
 		body = `{"protocol": "DTS-SS", "definitely_not_a_field": `
 	case kindOverBudget:
@@ -203,6 +273,7 @@ func doRequest(client *http.Client, rng *rand.Rand, baseURL, spec string, k kind
 			ctr.shed.Add(1)
 		}
 		if !retryable {
+			ctr.status(status)
 			switch status {
 			case http.StatusOK:
 				ctr.ok.Add(1)
@@ -211,7 +282,7 @@ func doRequest(client *http.Client, rng *rand.Rand, baseURL, spec string, k kind
 			case http.StatusUnprocessableEntity:
 				ctr.budget.Add(1)
 			}
-			if status != k.expected() {
+			if status != jb.k.expected() {
 				ctr.errors.Add(1)
 				return lat, false
 			}
@@ -251,6 +322,11 @@ type report struct {
 	// that skipped topology placement and tree construction.
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// CorpusSpecs and StatusCounts describe a corpus replay: how many
+	// specs the corpus held and the terminal HTTP status each landed on
+	// (keyed by status code). Absent for single-spec bursts.
+	CorpusSpecs  int               `json:"corpus_specs,omitempty"`
+	StatusCounts map[string]uint64 `json:"status_counts,omitempty"`
 }
 
 // fetchCacheStats reads the server's deployment-cache counters off
@@ -305,6 +381,18 @@ func printReport(r report) {
 	fmt.Printf("outcomes        %d ok, %d bad_spec, %d budget; %d shed responses, %d retries, %d gave up\n",
 		r.OK, r.BadSpec, r.Budget, r.Shed, r.Retries, r.Errors)
 	fmt.Printf("deploy cache    %d hits, %d misses (server lifetime)\n", r.CacheHits, r.CacheMisses)
+	if r.CorpusSpecs > 0 {
+		codes := make([]string, 0, len(r.StatusCounts))
+		for code := range r.StatusCounts {
+			codes = append(codes, code)
+		}
+		sort.Strings(codes)
+		var parts []string
+		for _, code := range codes {
+			parts = append(parts, fmt.Sprintf("%s×%d", code, r.StatusCounts[code]))
+		}
+		fmt.Printf("corpus          %d specs replayed: %s\n", r.CorpusSpecs, strings.Join(parts, ", "))
+	}
 }
 
 // mergeBench inserts the report as the "serve" key of an existing

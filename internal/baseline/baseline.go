@@ -21,6 +21,7 @@
 package baseline
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/essat/essat/internal/mac"
@@ -139,12 +140,25 @@ type SyncPM struct {
 
 var _ node.PowerManager = (*SyncPM)(nil)
 
-// NewSyncPM creates a SYNC power manager for one node.
-func NewSyncPM(eng *sim.Engine, r *radio.Radio, cfg SyncConfig) *SyncPM {
-	if cfg.Period <= 0 || cfg.ActiveWindow <= 0 || cfg.ActiveWindow > cfg.Period {
-		panic("baseline: SYNC needs 0 < ActiveWindow <= Period")
+// Validate reports whether the configuration is runnable. It is the
+// check NewSyncPM enforces, exposed so config errors become build-time
+// errors instead of panics.
+func (c SyncConfig) Validate() error {
+	if c.Period <= 0 || c.ActiveWindow <= 0 || c.ActiveWindow > c.Period {
+		return fmt.Errorf("baseline: SYNC needs 0 < ActiveWindow <= Period, got window %v, period %v", c.ActiveWindow, c.Period)
 	}
-	return &SyncPM{eng: eng, radio: r, cfg: cfg}
+	return nil
+}
+
+// NewSyncPM creates a SYNC power manager for one node. An invalid
+// config is an error, not a panic: baselines are reachable from
+// declarative specs, and a malformed spec must never take down the
+// process hosting the run.
+func NewSyncPM(eng *sim.Engine, r *radio.Radio, cfg SyncConfig) (*SyncPM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SyncPM{eng: eng, radio: r, cfg: cfg}, nil
 }
 
 // Name implements node.PowerManager.
@@ -231,14 +245,30 @@ var _ node.PowerManager = (*PsmPM)(nil)
 var _ node.ReportGate = (*PsmPM)(nil)
 var _ node.ControlSink = (*PsmPM)(nil)
 
-// NewPsmPM creates a PSM power manager for one node.
-func NewPsmPM(eng *sim.Engine, id node.NodeID, r *radio.Radio, m *mac.MAC, cfg PsmConfig) *PsmPM {
-	if cfg.AtimWindow+cfg.DataWindow > cfg.BeaconPeriod {
-		panic("baseline: PSM windows exceed the beacon period")
+// Validate reports whether the configuration is runnable. It is the
+// check NewPsmPM enforces, exposed so config errors become build-time
+// errors instead of panics.
+func (c PsmConfig) Validate() error {
+	if c.BeaconPeriod <= 0 || c.AtimWindow <= 0 || c.AtimWindow > c.BeaconPeriod {
+		return fmt.Errorf("baseline: PSM needs 0 < AtimWindow <= BeaconPeriod, got window %v, period %v", c.AtimWindow, c.BeaconPeriod)
+	}
+	if c.DataWindow < 0 || c.AtimWindow+c.DataWindow > c.BeaconPeriod {
+		return fmt.Errorf("baseline: PSM windows (%v + %v) exceed the beacon period %v", c.AtimWindow, c.DataWindow, c.BeaconPeriod)
+	}
+	return nil
+}
+
+// NewPsmPM creates a PSM power manager for one node. An invalid config
+// is an error, not a panic: baselines are reachable from declarative
+// specs, and a malformed spec must never take down the process hosting
+// the run.
+func NewPsmPM(eng *sim.Engine, id node.NodeID, r *radio.Radio, m *mac.MAC, cfg PsmConfig) (*PsmPM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	p := &PsmPM{eng: eng, id: id, radio: r, mac: m, cfg: cfg, acked: make(map[node.NodeID]bool)}
 	m.SetIdleFunc(p.maybeSleep)
-	return p
+	return p, nil
 }
 
 // Name implements node.PowerManager.

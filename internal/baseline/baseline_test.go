@@ -60,7 +60,10 @@ func TestGreedyPerHopStretch(t *testing.T) {
 func TestSyncDutyCycleIsFixed(t *testing.T) {
 	eng := sim.New(1)
 	r := radio.New(eng, radio.Config{})
-	pm := NewSyncPM(eng, r, DefaultSyncConfig())
+	pm, err := NewSyncPM(eng, r, DefaultSyncConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	pm.Start()
 	eng.Run(10 * time.Second)
 	duty := r.DutyCycle()
@@ -73,8 +76,10 @@ func TestSyncWindowsAreSynchronized(t *testing.T) {
 	eng := sim.New(1)
 	r1 := radio.New(eng, radio.Config{})
 	r2 := radio.New(eng, radio.Config{})
-	NewSyncPM(eng, r1, DefaultSyncConfig()).Start()
-	NewSyncPM(eng, r2, DefaultSyncConfig()).Start()
+	pm1, _ := NewSyncPM(eng, r1, DefaultSyncConfig())
+	pm2, _ := NewSyncPM(eng, r2, DefaultSyncConfig())
+	pm1.Start()
+	pm2.Start()
 	mismatches := 0
 	for probe := 10 * time.Millisecond; probe < 2*time.Second; probe += 17 * time.Millisecond {
 		eng.Schedule(probe, func() {
@@ -92,12 +97,9 @@ func TestSyncWindowsAreSynchronized(t *testing.T) {
 func TestSyncConfigValidation(t *testing.T) {
 	eng := sim.New(1)
 	r := radio.New(eng, radio.Config{})
-	defer func() {
-		if recover() == nil {
-			t.Error("invalid SYNC config did not panic")
-		}
-	}()
-	NewSyncPM(eng, r, SyncConfig{Period: time.Second, ActiveWindow: 2 * time.Second})
+	if _, err := NewSyncPM(eng, r, SyncConfig{Period: time.Second, ActiveWindow: 2 * time.Second}); err == nil {
+		t.Error("invalid SYNC config accepted")
+	}
 }
 
 // --- PSM --------------------------------------------------------------------
@@ -137,7 +139,10 @@ func newPsmNet(t *testing.T, n int) *psmNet {
 		r := radio.New(eng, radio.Config{})
 		tap := &deliverTap{net: net, id: i}
 		m := mac.New(eng, ch, phy.NodeID(i), r, mac.DefaultConfig(), tap)
-		pm := NewPsmPM(eng, phy.NodeID(i), r, m, DefaultPsmConfig())
+		pm, err := NewPsmPM(eng, phy.NodeID(i), r, m, DefaultPsmConfig())
+		if err != nil {
+			panic(err)
+		}
 		net.radios = append(net.radios, r)
 		net.macs = append(net.macs, m)
 		net.pms = append(net.pms, pm)
@@ -260,12 +265,8 @@ func TestPsmMultiHopForwarding(t *testing.T) {
 func TestPsmConfigValidation(t *testing.T) {
 	eng := sim.New(1)
 	r := radio.New(eng, radio.Config{})
-	m := &mac.MAC{}
-	_ = m
-	defer func() {
-		if recover() == nil {
-			t.Error("invalid PSM config did not panic")
-		}
-	}()
-	NewPsmPM(eng, 0, r, nil, PsmConfig{BeaconPeriod: 100 * time.Millisecond, AtimWindow: 80 * time.Millisecond, DataWindow: 80 * time.Millisecond})
+	// The invalid config must be rejected before the (nil) MAC is touched.
+	if _, err := NewPsmPM(eng, 0, r, nil, PsmConfig{BeaconPeriod: 100 * time.Millisecond, AtimWindow: 80 * time.Millisecond, DataWindow: 80 * time.Millisecond}); err == nil {
+		t.Error("invalid PSM config accepted")
+	}
 }

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/essat/essat/internal/mac"
@@ -52,10 +53,23 @@ type TmacPM struct {
 var _ node.PowerManager = (*TmacPM)(nil)
 var _ node.ReportGate = (*TmacPM)(nil)
 
-// NewTmacPM creates a T-MAC power manager for one node.
-func NewTmacPM(eng *sim.Engine, r *radio.Radio, m *mac.MAC, cfg TmacConfig) *TmacPM {
-	if cfg.FramePeriod <= 0 || cfg.TA <= 0 || cfg.TA > cfg.FramePeriod {
-		panic("baseline: T-MAC needs 0 < TA <= FramePeriod")
+// Validate reports whether the configuration is runnable. It is the
+// check NewTmacPM enforces, exposed so config errors become build-time
+// errors instead of panics.
+func (c TmacConfig) Validate() error {
+	if c.FramePeriod <= 0 || c.TA <= 0 || c.TA > c.FramePeriod {
+		return fmt.Errorf("baseline: T-MAC needs 0 < TA <= FramePeriod, got TA %v, frame %v", c.TA, c.FramePeriod)
+	}
+	return nil
+}
+
+// NewTmacPM creates a T-MAC power manager for one node. An invalid
+// config is an error, not a panic: baselines are reachable from
+// declarative specs, and a malformed spec must never take down the
+// process hosting the run.
+func NewTmacPM(eng *sim.Engine, r *radio.Radio, m *mac.MAC, cfg TmacConfig) (*TmacPM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	p := &TmacPM{eng: eng, radio: r, mac: m, cfg: cfg}
 	p.checkFn = func() {
@@ -69,7 +83,7 @@ func NewTmacPM(eng *sim.Engine, r *radio.Radio, m *mac.MAC, cfg TmacConfig) *Tma
 		}
 	})
 	m.SetIdleFunc(p.maybeSleep)
-	return p
+	return p, nil
 }
 
 // Name implements node.PowerManager.

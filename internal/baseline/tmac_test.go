@@ -41,7 +41,10 @@ func newTmacNet(t *testing.T, n int) *tmacNet {
 	for i := 0; i < n; i++ {
 		r := radio.New(eng, radio.Config{})
 		m := mac.New(eng, ch, phy.NodeID(i), r, mac.DefaultConfig(), &tmacTap{net: net, id: i})
-		pm := NewTmacPM(eng, r, m, DefaultTmacConfig())
+		pm, err := NewTmacPM(eng, r, m, DefaultTmacConfig())
+		if err != nil {
+			panic(err)
+		}
 		net.radios = append(net.radios, r)
 		net.macs = append(net.macs, m)
 		net.pms = append(net.pms, pm)
@@ -129,10 +132,7 @@ func TestTmacFramesAreSynchronized(t *testing.T) {
 func TestTmacConfigValidation(t *testing.T) {
 	eng := sim.New(1)
 	r := radio.New(eng, radio.Config{})
-	defer func() {
-		if recover() == nil {
-			t.Error("TA > FramePeriod accepted")
-		}
-	}()
-	NewTmacPM(eng, r, nil, TmacConfig{FramePeriod: 10 * time.Millisecond, TA: 20 * time.Millisecond})
+	if _, err := NewTmacPM(eng, r, nil, TmacConfig{FramePeriod: 10 * time.Millisecond, TA: 20 * time.Millisecond}); err == nil {
+		t.Error("TA > FramePeriod accepted")
+	}
 }

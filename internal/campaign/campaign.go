@@ -1,0 +1,550 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/essat/essat/internal/corpus"
+	"github.com/essat/essat/internal/experiment"
+)
+
+// ErrInterrupted reports a run stopped by context cancellation
+// (SIGINT/SIGTERM in the CLI) after checkpointing the journal. The
+// campaign is resumable; nothing was lost.
+var ErrInterrupted = errors.New("campaign: interrupted (journal checkpointed, resume to continue)")
+
+// ErrJournalExists reports a fresh run pointed at a campaign that has
+// already started; the caller wants resume, not a restart that would
+// redo finished work.
+var ErrJournalExists = errors.New("campaign: journal already has records; use resume")
+
+// ErrIncomplete reports a merge attempted before every spec in every
+// shard has a terminal record.
+var ErrIncomplete = errors.New("campaign: not all specs have terminal records yet")
+
+// ResultsName is the merged result set's filename inside a campaign
+// directory.
+const ResultsName = "results.jsonl"
+
+// quarantineDir is the subdirectory collecting panic repro bundles.
+const quarantineDir = "quarantine"
+
+// journalName returns the journal filename for one shard.
+func journalName(shard int) string { return fmt.Sprintf("journal-%03d.jsonl", shard) }
+
+// RunConfig parameterizes one shard run.
+type RunConfig struct {
+	// Shard selects which shard of the corpus manifest to run (0-based);
+	// item i belongs to shard i mod manifest.Shards.
+	Shard int
+	// Workers is the bounded worker pool size; <=0 selects GOMAXPROCS.
+	Workers int
+	// Budget bounds each run; the zero value is unlimited. Campaigns
+	// should set at least MaxEvents so one pathological spec cannot
+	// wedge a worker forever.
+	Budget experiment.Budget
+	// MaxRetries caps budget-exceeded retries per spec (attempts beyond
+	// the first); <0 selects DefaultMaxRetries.
+	MaxRetries int
+	// RetryBackoff is the base backoff before a retry, grown
+	// exponentially and jittered; <=0 selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// SyncEvery is the journal's fsync batch size; <=0 selects
+	// DefaultSyncEvery.
+	SyncEvery int
+	// Resume permits running against a journal that already has records
+	// (skipping completed specs). A fresh run with an existing journal
+	// fails with ErrJournalExists.
+	Resume bool
+	// Log, when non-nil, receives one human-readable progress line per
+	// terminal record.
+	Log io.Writer
+	// OnRecord, when non-nil, is called after each terminal record is
+	// journaled — a deterministic hook for tests to observe (and
+	// interrupt) a campaign mid-flight.
+	OnRecord func(Record)
+}
+
+// DefaultMaxRetries caps budget retries; DefaultRetryBackoff is the
+// base delay before the first retry.
+const (
+	DefaultMaxRetries   = 2
+	DefaultRetryBackoff = 50 * time.Millisecond
+)
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = DefaultRetryBackoff
+	}
+	return c
+}
+
+// Summary reports what one Run did.
+type Summary struct {
+	Shard int
+	// Total is the shard's spec count; Skipped how many already had
+	// terminal records when the run started (resume).
+	Total   int
+	Skipped int
+	// Completed and Failed count terminal records written by this
+	// process; Quarantined (⊆ Failed) counts panic repro bundles;
+	// Retries counts budget-retry attempts beyond the first.
+	Completed   int
+	Failed      int
+	Quarantined int
+	Retries     int
+	// Interrupted reports the run stopped on context cancellation with
+	// work remaining; the journal is checkpointed and resumable.
+	Interrupted bool
+	// ResultsPath is the merged result set, written when this run
+	// brought the whole campaign (all shards) to completion.
+	ResultsPath string
+}
+
+// Run executes one shard of the corpus campaign at dir on a bounded
+// worker pool, journaling every outcome. Each worker owns a reusable
+// experiment arena; all workers share one deployment cache. Audit is
+// forced on for every run so each done record carries the invariant
+// auditor's trace digest.
+//
+// Failure policy: a *BudgetExceededError retries with jittered
+// exponential backoff up to MaxRetries, then journals a terminal
+// budget failure; a *PanicError writes a repro bundle (spec + seed +
+// stack) under quarantine/ and journals a terminal panic failure; a
+// build error journals immediately. The campaign always continues past
+// individual failures. Context cancellation checkpoints the journal
+// and returns ErrInterrupted.
+//
+// When the run completes the final outstanding spec of the final shard
+// it also writes the merged result set (see Merge).
+func Run(ctx context.Context, dir string, cfg RunConfig) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	man, items, err := corpus.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	shards := man.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if cfg.Shard < 0 || cfg.Shard >= shards {
+		return nil, fmt.Errorf("campaign: shard %d outside [0,%d)", cfg.Shard, shards)
+	}
+
+	jpath := filepath.Join(dir, journalName(cfg.Shard))
+	recs, err := ReadJournal(jpath)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > 0 && !cfg.Resume {
+		return nil, fmt.Errorf("%w: %s has %d records", ErrJournalExists, jpath, len(recs))
+	}
+	prog := Replay(recs)
+
+	sum := &Summary{Shard: cfg.Shard}
+	var pending []corpus.Item
+	for _, it := range items {
+		if it.Index%shards != cfg.Shard {
+			continue
+		}
+		sum.Total++
+		if _, done := prog.Terminal[it.Index]; done {
+			sum.Skipped++
+			continue
+		}
+		pending = append(pending, it)
+	}
+
+	j, err := OpenJournal(jpath, cfg.SyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+
+	if len(pending) > 0 {
+		if err := runPool(ctx, dir, cfg, j, pending, sum); err != nil {
+			return nil, err
+		}
+	}
+
+	// Checkpoint: every journaled record is durable before we either
+	// report interruption or attempt the merge.
+	if err := j.Sync(); err != nil {
+		return nil, err
+	}
+	if sum.Interrupted {
+		return sum, ErrInterrupted
+	}
+	// This shard is complete; if every shard is, write the merged
+	// result set. Racing shard processes both observing completion is
+	// benign: Merge is deterministic and writes atomically.
+	if path, err := Merge(dir); err == nil {
+		sum.ResultsPath = path
+	} else if !errors.Is(err, ErrIncomplete) {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// runPool drains pending through cfg.Workers workers, accumulating
+// into sum (guarded by a mutex shared with the journal's own).
+func runPool(ctx context.Context, dir string, cfg RunConfig, j *Journal, pending []corpus.Item, sum *Summary) error {
+	cache := experiment.NewDeployCache(0)
+	work := make(chan corpus.Item)
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arena := experiment.NewArenaWithCache(cache)
+			for it := range work {
+				rec, err := runOne(ctx, dir, cfg, j, arena, it)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if rec == nil {
+					// Interrupted mid-spec: no terminal record; resume
+					// reruns it.
+					mu.Lock()
+					sum.Interrupted = true
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				switch {
+				case rec.Op == OpDone:
+					sum.Completed++
+				default:
+					sum.Failed++
+					if rec.FailKind == FailPanic {
+						sum.Quarantined++
+					}
+				}
+				sum.Retries += rec.Attempt - 1
+				mu.Unlock()
+				if cfg.Log != nil {
+					detail := rec.Digest
+					if rec.Op == OpFail {
+						detail = rec.FailKind
+					}
+					fmt.Fprintf(cfg.Log, "%-4s %s %s\n", rec.Op, rec.ID, detail)
+				}
+				if cfg.OnRecord != nil {
+					cfg.OnRecord(*rec)
+				}
+			}
+		}()
+	}
+
+feed:
+	for _, it := range pending {
+		select {
+		case work <- it:
+		case <-ctx.Done():
+			mu.Lock()
+			sum.Interrupted = true
+			mu.Unlock()
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}
+
+// runOne runs one spec to a terminal record, retrying budget overruns
+// and quarantining panics. It returns (nil, nil) when interrupted by
+// ctx before reaching a terminal state.
+func runOne(ctx context.Context, dir string, cfg RunConfig, j *Journal, arena *experiment.Arena, it corpus.Item) (*Record, error) {
+	// Jittered backoff seeded per spec: reproducible scheduling in
+	// tests without coordination between workers.
+	rng := rand.New(rand.NewSource(it.Spec.Seed))
+	for attempt := 1; ; attempt++ {
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+		if err := j.Append(Record{Op: OpClaim, Attempt: attempt, ResultRecord: ResultRecord{Index: it.Index, ID: it.ID}}); err != nil {
+			return nil, err
+		}
+
+		// Force the auditor on: done records must carry the trace
+		// digest, whatever the spec says.
+		spec := *it.Spec
+		spec.Audit = true
+		res, runErr := experiment.RunSpecContextWith(ctx, arena, &spec, cfg.Budget)
+
+		var rec Record
+		switch {
+		case runErr == nil:
+			rec = Record{Op: OpDone, Attempt: attempt, ResultRecord: ResultRecord{
+				Index:         it.Index,
+				ID:            it.ID,
+				Protocol:      string(res.Protocol),
+				Seed:          res.Seed,
+				Status:        "ok",
+				Digest:        res.Audit.Digest,
+				Events:        res.Events,
+				TreeSize:      res.TreeSize,
+				MaxRank:       res.MaxRank,
+				Coverage:      res.Coverage,
+				DutyCycle:     res.DutyCycle,
+				LatencyMeanNs: res.Latency.Mean.Nanoseconds(),
+				Violations:    res.Audit.Total,
+			}}
+
+		case errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
+			return nil, nil
+
+		default:
+			var pe *experiment.PanicError
+			var be *experiment.BudgetExceededError
+			switch {
+			case errors.As(runErr, &pe):
+				// A panicked stack may have left the arena's engine
+				// inconsistent; drop it before the next run.
+				arena.Discard()
+				qdir, qerr := quarantine(dir, it, attempt, pe)
+				if qerr != nil {
+					return nil, qerr
+				}
+				rec = Record{Op: OpFail, Attempt: attempt, ResultRecord: ResultRecord{
+					Index: it.Index, ID: it.ID,
+					Protocol: string(pe.Protocol), Seed: pe.Seed,
+					Status: "failed", FailKind: FailPanic,
+					Error:      pe.Error(),
+					Quarantine: qdir,
+				}}
+			case errors.As(runErr, &be):
+				if attempt <= cfg.MaxRetries {
+					// Jittered exponential backoff: base × 2^(attempt-1),
+					// plus up to 100% jitter.
+					d := cfg.RetryBackoff << (attempt - 1)
+					d += time.Duration(rng.Int63n(int64(d) + 1))
+					select {
+					case <-time.After(d):
+						continue
+					case <-ctx.Done():
+						return nil, nil
+					}
+				}
+				// Normalized message: BudgetExceededError.Error() embeds
+				// wall-clock elapsed time, which would break merged-result
+				// byte-identity across runs.
+				rec = Record{Op: OpFail, Attempt: attempt, ResultRecord: ResultRecord{
+					Index: it.Index, ID: it.ID,
+					Protocol: it.Spec.Protocol, Seed: it.Spec.Seed,
+					Status: "failed", FailKind: FailBudget,
+					Error: fmt.Sprintf("exceeded %s budget after %d attempts", be.Resource, attempt),
+				}}
+			default:
+				rec = Record{Op: OpFail, Attempt: attempt, ResultRecord: ResultRecord{
+					Index: it.Index, ID: it.ID,
+					Protocol: it.Spec.Protocol, Seed: it.Spec.Seed,
+					Status: "failed", FailKind: FailBuild,
+					Error: runErr.Error(),
+				}}
+			}
+		}
+		if err := j.Append(rec); err != nil {
+			return nil, err
+		}
+		return &rec, nil
+	}
+}
+
+// quarantine writes a panic repro bundle under dir/quarantine/<id>/:
+// spec.json (runnable via essat-sim -scenario), panic.txt (value +
+// stack), and meta.json. It returns the bundle directory relative to
+// the campaign root.
+func quarantine(root string, it corpus.Item, attempt int, pe *experiment.PanicError) (string, error) {
+	rel := filepath.Join(quarantineDir, it.ID)
+	dir := filepath.Join(root, rel)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	specJSON := pe.SpecJSON
+	if specJSON == nil {
+		data, err := json.MarshalIndent(it.Spec, "", "  ")
+		if err != nil {
+			return "", fmt.Errorf("campaign: %w", err)
+		}
+		specJSON = data
+	}
+	if err := os.WriteFile(filepath.Join(dir, "spec.json"), append(specJSON, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	body := fmt.Sprintf("panic: %v\n\nprotocol: %s\nseed: %d\nattempt: %d\n\n%s",
+		pe.Value, pe.Protocol, pe.Seed, attempt, pe.Stack)
+	if err := os.WriteFile(filepath.Join(dir, "panic.txt"), []byte(body), 0o644); err != nil {
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	meta := map[string]any{
+		"id": it.ID, "index": it.Index,
+		"protocol": string(pe.Protocol), "seed": pe.Seed,
+		"attempt": attempt, "value": fmt.Sprint(pe.Value),
+	}
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	return rel, nil
+}
+
+// Merge folds every shard journal into the campaign's merged result
+// set, dir/results.jsonl: one deterministic ResultRecord line per spec
+// in manifest (index) order. It fails with ErrIncomplete if any spec
+// lacks a terminal record. The file is written atomically (temp +
+// rename), and its bytes depend only on the terminal outcomes — never
+// on worker interleaving, retries, restarts, or resumes — which is the
+// campaign layer's core crash-safety guarantee.
+func Merge(dir string) (string, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return "", err
+	}
+	shards := man.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	terminal := make(map[int]Record)
+	for s := 0; s < shards; s++ {
+		recs, err := ReadJournal(filepath.Join(dir, journalName(s)))
+		if err != nil {
+			return "", err
+		}
+		for idx, rec := range Replay(recs).Terminal {
+			if _, dup := terminal[idx]; !dup {
+				terminal[idx] = rec
+			}
+		}
+	}
+
+	var buf []byte
+	for _, e := range man.Specs {
+		rec, ok := terminal[e.Index]
+		if !ok {
+			return "", fmt.Errorf("%w: spec %d (%s)", ErrIncomplete, e.Index, e.ID)
+		}
+		line, err := json.Marshal(rec.ResultRecord)
+		if err != nil {
+			return "", fmt.Errorf("campaign: %w", err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+
+	path := filepath.Join(dir, ResultsName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	return path, nil
+}
+
+// Status summarizes a campaign directory's progress per shard.
+type Status struct {
+	Specs  int
+	Shards int
+	// Done, Failed, and Pending count specs by terminal state across
+	// all shard journals; PerShard breaks pending down by shard.
+	Done     int
+	Failed   int
+	Pending  int
+	PerShard []ShardStatus
+	// Merged reports whether results.jsonl exists.
+	Merged bool
+}
+
+// ShardStatus is one shard's progress.
+type ShardStatus struct {
+	Shard, Total, Done, Failed, Pending int
+}
+
+// ReadStatus reads the manifest and every shard journal at dir.
+func ReadStatus(dir string) (*Status, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	shards := man.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	st := &Status{Specs: len(man.Specs), Shards: shards}
+	for s := 0; s < shards; s++ {
+		recs, err := ReadJournal(filepath.Join(dir, journalName(s)))
+		if err != nil {
+			return nil, err
+		}
+		prog := Replay(recs)
+		ss := ShardStatus{Shard: s}
+		for _, e := range man.Specs {
+			if e.Index%shards != s {
+				continue
+			}
+			ss.Total++
+			rec, ok := prog.Terminal[e.Index]
+			switch {
+			case !ok:
+				ss.Pending++
+			case rec.Op == OpDone:
+				ss.Done++
+			default:
+				ss.Failed++
+			}
+		}
+		st.Done += ss.Done
+		st.Failed += ss.Failed
+		st.Pending += ss.Pending
+		st.PerShard = append(st.PerShard, ss)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ResultsName)); err == nil {
+		st.Merged = true
+	}
+	return st, nil
+}
+
+// readManifest reads just the corpus manifest (no spec files).
+func readManifest(dir string) (*corpus.Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, corpus.ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	var m corpus.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("campaign: %s: %w", corpus.ManifestName, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,373 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/essat/essat/internal/corpus"
+	"github.com/essat/essat/internal/experiment"
+	"github.com/essat/essat/internal/protocol"
+)
+
+// campaignPanicProto wires a normal NTS-SS stack and then panics
+// mid-run — the shape of a protocol bug a campaign must quarantine
+// rather than die from.
+type campaignPanicProto struct{ delegate protocol.Builder }
+
+const campaignPanicName protocol.Protocol = "campaign-panic"
+
+func (p *campaignPanicProto) Protocol() protocol.Protocol { return campaignPanicName }
+
+func (p *campaignPanicProto) Build(ctx *protocol.BuildContext) error {
+	if err := p.delegate.Build(ctx); err != nil {
+		return err
+	}
+	ctx.Eng.After(500*time.Millisecond, func() { panic("injected campaign bug") })
+	return nil
+}
+
+func init() {
+	d, ok := protocol.Lookup(protocol.NTSSS)
+	if !ok {
+		panic("NTS-SS not registered")
+	}
+	protocol.RegisterUnlisted(&campaignPanicProto{delegate: d})
+}
+
+// genCorpus writes a small fast corpus (24-node, 3s runs) to a temp
+// dir and returns the dir.
+func genCorpus(t *testing.T, count, shards int) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := corpus.Config{Seed: 7, Count: count, MaxNodes: 24, MaxDuration: 3 * time.Second}
+	items, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.Write(dir, cfg, items, shards); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestJournalTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Op: OpClaim, Attempt: 1, ResultRecord: ResultRecord{Index: 0, ID: "a"}},
+		{Op: OpDone, Attempt: 1, ResultRecord: ResultRecord{Index: 0, ID: "a", Status: "ok", Digest: "deadbeefdeadbeef"}},
+	}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a SIGKILL mid-write: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"done","idx":1,"id":"b","st`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated, got %v", err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("read %d records, want %d (torn line dropped)", len(recs), len(want))
+	}
+	for i := range want {
+		if recs[i].Op != want[i].Op || recs[i].Index != want[i].Index || recs[i].Digest != want[i].Digest {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+
+	// Corruption anywhere earlier is NOT tolerated: truncating a middle
+	// line must fail loudly instead of silently dropping records.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := bytes.Replace(data, []byte(`{"op":"claim"`), []byte(`{"op:"claim"`), 1)
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); err == nil {
+		t.Fatal("ReadJournal accepted a corrupt non-final line")
+	}
+}
+
+func TestJournalMissingFileIsEmpty(t *testing.T) {
+	recs, err := ReadJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing journal = (%v, %v), want (nil, nil)", recs, err)
+	}
+}
+
+// TestReplayDuplicateTerminal: duplicate done-records resolve
+// deterministically — the first wins.
+func TestReplayDuplicateTerminal(t *testing.T) {
+	prog := Replay([]Record{
+		{Op: OpClaim, ResultRecord: ResultRecord{Index: 3}},
+		{Op: OpDone, ResultRecord: ResultRecord{Index: 3, Status: "ok", Digest: "first"}},
+		{Op: OpDone, ResultRecord: ResultRecord{Index: 3, Status: "ok", Digest: "second"}},
+		{Op: OpFail, ResultRecord: ResultRecord{Index: 3, Status: "failed"}},
+	})
+	rec, ok := prog.Terminal[3]
+	if !ok || rec.Digest != "first" {
+		t.Fatalf("Terminal[3] = %+v, want the first done record", rec)
+	}
+	if prog.Claims[3] != 1 {
+		t.Fatalf("Claims[3] = %d, want 1", prog.Claims[3])
+	}
+}
+
+// TestCampaignResumeDigestMatch is the tentpole's core guarantee: a
+// campaign interrupted mid-flight and resumed produces a merged result
+// set byte-identical to an uninterrupted run of the same corpus.
+func TestCampaignResumeDigestMatch(t *testing.T) {
+	const count = 4
+
+	// Reference: uninterrupted.
+	refDir := genCorpus(t, count, 1)
+	refSum, err := Run(context.Background(), refDir, RunConfig{Workers: 2, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSum.Completed != count || refSum.ResultsPath == "" {
+		t.Fatalf("reference run = %+v, want %d completed and a merged result set", refSum, count)
+	}
+	refResults, err := os.ReadFile(refSum.ResultsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: cancel after the first terminal record, mid-campaign.
+	intDir := genCorpus(t, count, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var terminal atomic.Int32
+	_, err = Run(ctx, intDir, RunConfig{
+		Workers:   2,
+		SyncEvery: 1,
+		OnRecord: func(Record) {
+			if terminal.Add(1) == 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	recs, err := ReadJournal(filepath.Join(intDir, journalName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := Replay(recs)
+	if len(prog.Terminal) == 0 || len(prog.Terminal) >= count {
+		t.Fatalf("interrupted journal has %d terminal records, want mid-campaign (0 < n < %d)", len(prog.Terminal), count)
+	}
+
+	// Resume: skips completed specs, finishes the rest, merges.
+	resSum, err := Run(context.Background(), intDir, RunConfig{Workers: 2, SyncEvery: 1, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSum.Skipped != len(prog.Terminal) {
+		t.Fatalf("resume skipped %d specs, want %d (the journaled ones)", resSum.Skipped, len(prog.Terminal))
+	}
+	if resSum.ResultsPath == "" {
+		t.Fatal("resume did not merge a complete campaign")
+	}
+	gotResults, err := os.ReadFile(resSum.ResultsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotResults, refResults) {
+		t.Fatalf("merged results after interrupt+resume differ from uninterrupted reference:\n--- resumed\n%s--- reference\n%s", gotResults, refResults)
+	}
+}
+
+// TestCampaignRefusesStaleJournal: a fresh `run` against a campaign
+// that already has journal records must refuse, pointing at resume.
+func TestCampaignRefusesStaleJournal(t *testing.T) {
+	dir := genCorpus(t, 1, 1)
+	if _, err := Run(context.Background(), dir, RunConfig{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), dir, RunConfig{Workers: 1}); !errors.Is(err, ErrJournalExists) {
+		t.Fatalf("rerun without Resume returned %v, want ErrJournalExists", err)
+	}
+	// Resume against the complete campaign is a no-op that still merges.
+	sum, err := Run(context.Background(), dir, RunConfig{Workers: 1, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped != 1 || sum.Completed != 0 || sum.ResultsPath == "" {
+		t.Fatalf("resume of complete campaign = %+v, want 1 skipped, 0 run, merged", sum)
+	}
+}
+
+// TestCampaignBudgetRetry: a spec that exhausts its event budget
+// retries up to the cap with backoff, then lands a terminal budget
+// failure with a deterministic (wall-clock-free) message.
+func TestCampaignBudgetRetry(t *testing.T) {
+	dir := genCorpus(t, 1, 1)
+	sum, err := Run(context.Background(), dir, RunConfig{
+		Workers:      1,
+		Budget:       experiment.Budget{MaxEvents: 200},
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+		SyncEvery:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 1 || sum.Retries != 2 || sum.Quarantined != 0 {
+		t.Fatalf("summary = %+v, want 1 failed after 2 retries, none quarantined", sum)
+	}
+	recs, err := ReadJournal(filepath.Join(dir, journalName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := Replay(recs)
+	if prog.Claims[0] != 3 {
+		t.Fatalf("journal has %d claims, want 3 (1 + 2 retries)", prog.Claims[0])
+	}
+	rec := prog.Terminal[0]
+	if rec.Op != OpFail || rec.FailKind != FailBudget {
+		t.Fatalf("terminal record = %+v, want a budget failure", rec)
+	}
+	if rec.Error != "exceeded events budget after 3 attempts" {
+		t.Fatalf("budget failure message %q is not the normalized deterministic form", rec.Error)
+	}
+}
+
+// TestCampaignQuarantine: a panicking spec leaves a complete repro
+// bundle in quarantine/ while the campaign runs to completion and
+// merges, with the failure recorded in the result set.
+func TestCampaignQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	specs := []*experiment.Spec{
+		{Protocol: string(campaignPanicName), Seed: 3, Nodes: 30, Area: 300,
+			Duration: experiment.Dur(2 * time.Second),
+			Workload: &experiment.WorkloadSpec{BaseRate: 1, PerClass: 1}},
+		{Protocol: string(protocol.NTSSS), Seed: 4, Nodes: 30, Area: 300,
+			Duration: experiment.Dur(2 * time.Second),
+			Workload: &experiment.WorkloadSpec{BaseRate: 1, PerClass: 1}},
+	}
+	items := []corpus.Item{
+		{Index: 0, ID: "0000-campaign-panic", Spec: specs[0]},
+		{Index: 1, ID: "0001-nts-ss", Spec: specs[1]},
+	}
+	if err := corpus.Write(dir, corpus.Config{Seed: 3, Count: 2}, items, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := Run(context.Background(), dir, RunConfig{Workers: 2, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 1 || sum.Failed != 1 || sum.Quarantined != 1 {
+		t.Fatalf("summary = %+v, want 1 completed, 1 quarantined failure", sum)
+	}
+	if sum.ResultsPath == "" {
+		t.Fatal("campaign with a quarantined spec did not complete and merge")
+	}
+
+	// The repro bundle: spec + stack, enough to replay the crash.
+	qdir := filepath.Join(dir, quarantineDir, "0000-campaign-panic")
+	specJSON, err := os.ReadFile(filepath.Join(qdir, "spec.json"))
+	if err != nil {
+		t.Fatalf("quarantine bundle missing spec.json: %v", err)
+	}
+	respec, err := experiment.ParseSpec(specJSON)
+	if err != nil {
+		t.Fatalf("quarantined spec.json does not parse: %v", err)
+	}
+	if respec.Protocol != string(campaignPanicName) || respec.Seed != 3 {
+		t.Fatalf("quarantined spec = (%s, %d), want the panicking spec", respec.Protocol, respec.Seed)
+	}
+	stack, err := os.ReadFile(filepath.Join(qdir, "panic.txt"))
+	if err != nil {
+		t.Fatalf("quarantine bundle missing panic.txt: %v", err)
+	}
+	if !strings.Contains(string(stack), "injected campaign bug") || !strings.Contains(string(stack), "campaignPanicProto") {
+		t.Fatalf("panic.txt does not carry the panic value and stack:\n%s", stack)
+	}
+	if _, err := os.Stat(filepath.Join(qdir, "meta.json")); err != nil {
+		t.Fatalf("quarantine bundle missing meta.json: %v", err)
+	}
+
+	// The merged result set records the failure and points at the bundle.
+	data, err := os.ReadFile(sum.ResultsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte{'\n'})
+	if len(lines) != 2 {
+		t.Fatalf("results.jsonl has %d lines, want 2", len(lines))
+	}
+	var failed ResultRecord
+	if err := json.Unmarshal(lines[0], &failed); err != nil {
+		t.Fatal(err)
+	}
+	if failed.Status != "failed" || failed.FailKind != FailPanic || failed.Quarantine == "" {
+		t.Fatalf("failed result line = %+v, want a quarantined panic failure", failed)
+	}
+}
+
+// TestCampaignSharded: a sharded campaign merges only once every shard
+// completes, and Merge alone reports incompleteness before that.
+func TestCampaignSharded(t *testing.T) {
+	dir := genCorpus(t, 4, 2)
+	if _, err := Merge(dir); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("Merge of unstarted campaign returned %v, want ErrIncomplete", err)
+	}
+	sum0, err := Run(context.Background(), dir, RunConfig{Shard: 0, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum0.Total != 2 || sum0.ResultsPath != "" {
+		t.Fatalf("shard 0 = %+v, want 2 specs and no premature merge", sum0)
+	}
+	st, err := ReadStatus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 2 || st.Pending != 2 || st.Merged {
+		t.Fatalf("status after shard 0 = %+v, want 2 done, 2 pending, unmerged", st)
+	}
+	sum1, err := Run(context.Background(), dir, RunConfig{Shard: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum1.ResultsPath == "" {
+		t.Fatal("final shard did not merge the campaign")
+	}
+	data, err := os.ReadFile(sum1.ResultsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte{'\n'}); n != 4 {
+		t.Fatalf("merged result set has %d lines, want 4", n)
+	}
+}

@@ -1,0 +1,221 @@
+// Package campaign turns a generated workload corpus into a crash-safe
+// batch run: a write-ahead JSONL journal records every spec's outcome
+// as it happens, so a campaign killed at run 7,312 resumes without
+// redoing or corrupting anything, and the merged result set it finally
+// produces is byte-identical to an uninterrupted run's — a property the
+// engine's bit-reproducible same-seed runs make provable (see
+// TestCampaignResumeDigestMatch) rather than hopeful.
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal record operations.
+const (
+	// OpClaim marks a spec as picked up by a worker (attempt n). A claim
+	// without a matching terminal record means the run was in flight
+	// when the process died: resume reruns it.
+	OpClaim = "claim"
+	// OpDone records a completed run and its deterministic summary.
+	OpDone = "done"
+	// OpFail records a terminal failure (panic → quarantined, budget →
+	// retries exhausted, build → spec refused). The spec is not rerun on
+	// resume.
+	OpFail = "fail"
+)
+
+// Failure kinds for OpFail records.
+const (
+	FailPanic  = "panic"
+	FailBudget = "budget"
+	FailBuild  = "build"
+)
+
+// ResultRecord is the deterministic summary of one spec's terminal
+// outcome — exactly the fields that are reproducible across processes
+// and machines (digests, event counts, metrics), never wall-clock
+// measurements. The merged results.jsonl is a sequence of these, which
+// is what makes "interrupted+resumed equals uninterrupted" a
+// byte-equality statement.
+type ResultRecord struct {
+	Index    int    `json:"idx"`
+	ID       string `json:"id"`
+	Protocol string `json:"protocol,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	// Status is "ok" or "failed".
+	Status string `json:"status"`
+
+	// Completed-run summary (Status "ok"). Digest is the invariant
+	// auditor's canonical trace digest — the strongest cross-process
+	// equality check one line can carry.
+	Digest        string  `json:"digest,omitempty"`
+	Events        uint64  `json:"events,omitempty"`
+	TreeSize      int     `json:"tree_size,omitempty"`
+	MaxRank       int     `json:"max_rank,omitempty"`
+	Coverage      float64 `json:"coverage,omitempty"`
+	DutyCycle     float64 `json:"duty_cycle,omitempty"`
+	LatencyMeanNs int64   `json:"latency_mean_ns,omitempty"`
+	Violations    int     `json:"violations,omitempty"`
+
+	// Failure summary (Status "failed"). Error is normalized to be
+	// deterministic (no wall-clock content); Quarantine is the repro
+	// bundle's directory relative to the campaign root, for panics.
+	FailKind   string `json:"fail_kind,omitempty"`
+	Error      string `json:"error,omitempty"`
+	Quarantine string `json:"quarantine,omitempty"`
+}
+
+// Record is one journal line: an operation plus, for terminal
+// operations, the result summary.
+type Record struct {
+	Op      string `json:"op"`
+	Attempt int    `json:"attempt,omitempty"`
+	ResultRecord
+}
+
+// Journal is an append-only JSONL write-ahead log. Appends are buffered
+// and fsync'd in batches (every SyncEvery records) — crash-durable
+// enough that at most a batch of already-finished work is rerun, cheap
+// enough that journaling never gates run throughput. The file format is
+// torn-write tolerant: a reader drops an unparseable final line, which
+// is exactly the state a SIGKILL mid-write leaves behind.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	pending int
+	every   int
+}
+
+// DefaultSyncEvery is the fsync batch size.
+const DefaultSyncEvery = 16
+
+// OpenJournal opens (creating or appending to) the journal at path.
+// syncEvery <= 0 selects DefaultSyncEvery; syncEvery == 1 fsyncs every
+// record.
+func OpenJournal(path string, syncEvery int) (*Journal, error) {
+	if syncEvery <= 0 {
+		syncEvery = DefaultSyncEvery
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f), every: syncEvery}, nil
+}
+
+// Append journals one record. The record reaches the OS in this call
+// (buffered writes are flushed per record boundary when the batch
+// fills); it reaches the disk at the next batch fsync, Sync, or Close.
+func (j *Journal) Append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	j.pending++
+	if j.pending >= j.every {
+		return j.syncLocked()
+	}
+	return nil
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	j.pending = 0
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file — the checkpoint
+// operation SIGINT/SIGTERM handling calls before exiting resumable.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	if err := j.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// ReadJournal reads every durable record from the journal at path. A
+// missing file is an empty journal. The final line is allowed to be
+// torn (a partial write from a crash): if it fails to parse it is
+// dropped; an unparseable line anywhere earlier is corruption and an
+// error. Records are returned in file order.
+func ReadJournal(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	lines := bytes.Split(data, []byte{'\n'})
+	var recs []Record
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Only the final non-empty line may be torn.
+			for _, later := range lines[i+1:] {
+				if len(bytes.TrimSpace(later)) != 0 {
+					return nil, fmt.Errorf("campaign: %s:%d: corrupt journal line: %w", path, i+1, err)
+				}
+			}
+			return recs, nil
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// Progress is the per-spec state reconstructed from a journal replay.
+type Progress struct {
+	// Terminal maps spec index → its first terminal record (done or
+	// fail). Duplicate terminal records — possible only through journal
+	// surgery or a rerun against an already-complete campaign — are
+	// tolerated: the first wins, deterministically.
+	Terminal map[int]Record
+	// Claims counts claim records per spec index (attempts started).
+	Claims map[int]int
+}
+
+// Replay folds journal records into per-spec progress.
+func Replay(recs []Record) *Progress {
+	p := &Progress{Terminal: make(map[int]Record), Claims: make(map[int]int)}
+	for _, rec := range recs {
+		switch rec.Op {
+		case OpClaim:
+			p.Claims[rec.Index]++
+		case OpDone, OpFail:
+			if _, dup := p.Terminal[rec.Index]; !dup {
+				p.Terminal[rec.Index] = rec
+			}
+		}
+	}
+	return p
+}

@@ -573,7 +573,10 @@ func Fig8SleepHistogram(o Options) (*Figure, []float64, error) {
 	var out []Series
 	var below25 []float64
 	for pi, p := range protos {
-		hist := stats.NewHistogram(25*time.Millisecond, 8)
+		hist, err := stats.NewHistogram(25*time.Millisecond, 8)
+		if err != nil {
+			return nil, nil, err
+		}
 		for _, res := range results[pi] {
 			for _, d := range res.SleepIntervals {
 				hist.Add(d)

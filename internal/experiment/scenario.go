@@ -476,10 +476,20 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 	if macCfg.SlotTime == 0 {
 		macCfg = mac.DefaultConfig()
 	}
+	// Validate the MAC and query configs here, after defaulting: the
+	// constructors only panic on invalid configs (a backstop against
+	// imperative misuse), and a malformed scenario must surface as a
+	// returned build error, never a crashed worker.
+	if err := macCfg.Validate(); err != nil {
+		return nil, err
+	}
 	qCfg := sc.QueryCfg
 	if qCfg.ReportBytes == 0 {
 		qCfg.ReportBytes = 52
 		qCfg.PhaseBytes = 4
+	}
+	if err := qCfg.Validate(); err != nil {
+		return nil, err
 	}
 
 	sink := stats.NewRootSink(sc.Queries)

@@ -60,7 +60,13 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate() error {
+// Validate reports whether the configuration is runnable: positive
+// timing parameters, a sane contention window, and positive frame
+// sizes. Hosts that accept configs from untrusted input (declarative
+// specs, corpus generators) validate before construction so a bad
+// config surfaces as a build error; New panics on an invalid config
+// only as a backstop against imperative misuse.
+func (c Config) Validate() error {
 	if c.SlotTime <= 0 || c.SIFS <= 0 || c.DIFS <= 0 {
 		return fmt.Errorf("mac: slot/SIFS/DIFS must be positive")
 	}
@@ -278,7 +284,7 @@ type ackKey struct {
 
 // New creates a MAC for node id, attaching it to the channel.
 func New(eng *sim.Engine, ch *phy.Channel, id phy.NodeID, r *radio.Radio, cfg Config, upper Upper) *MAC {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	peers := ch.Neighbors(id)

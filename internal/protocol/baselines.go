@@ -25,7 +25,10 @@ func (psmBuilder) Build(ctx *BuildContext) error {
 	if cfg.BeaconPeriod == 0 {
 		cfg = baseline.DefaultPsmConfig()
 	}
-	pm := baseline.NewPsmPM(ctx.Eng, n.ID(), n.Radio, n.MAC, cfg)
+	pm, err := baseline.NewPsmPM(ctx.Eng, n.ID(), n.Radio, n.MAC, cfg)
+	if err != nil {
+		return err
+	}
 	n.InstallPM(pm)
 	g := baseline.NewGreedy(n.Rank)
 	g.PerHopDelay = cfg.BeaconPeriod
@@ -43,7 +46,10 @@ func (syncBuilder) Build(ctx *BuildContext) error {
 	if cfg.Period == 0 {
 		cfg = baseline.DefaultSyncConfig()
 	}
-	pm := baseline.NewSyncPM(ctx.Eng, n.Radio, cfg)
+	pm, err := baseline.NewSyncPM(ctx.Eng, n.Radio, cfg)
+	if err != nil {
+		return err
+	}
 	n.InstallPM(pm)
 	g := baseline.NewGreedy(n.Rank)
 	g.PerHopDelay = cfg.Period
@@ -61,7 +67,10 @@ func (tmacBuilder) Build(ctx *BuildContext) error {
 	if cfg.FramePeriod == 0 {
 		cfg = baseline.DefaultTmacConfig()
 	}
-	pm := baseline.NewTmacPM(ctx.Eng, n.Radio, n.MAC, cfg)
+	pm, err := baseline.NewTmacPM(ctx.Eng, n.Radio, n.MAC, cfg)
+	if err != nil {
+		return err
+	}
 	n.InstallPM(pm)
 	g := baseline.NewGreedy(n.Rank)
 	g.PerHopDelay = cfg.FramePeriod

@@ -207,6 +207,25 @@ func DefaultConfig() Config {
 	return Config{ReportBytes: 52, PhaseBytes: 4, FailureThreshold: 3}
 }
 
+// Validate reports whether the configuration is runnable: a report must
+// occupy at least one on-air byte, and the piggyback / failure knobs
+// must be non-negative. Hosts that accept configs from untrusted input
+// validate before construction so a bad config surfaces as a build
+// error; NewAgent panics on an invalid config only as a backstop
+// against imperative misuse.
+func (c Config) Validate() error {
+	if c.ReportBytes <= 0 {
+		return fmt.Errorf("query: ReportBytes must be positive, got %d", c.ReportBytes)
+	}
+	if c.PhaseBytes < 0 {
+		return fmt.Errorf("query: negative PhaseBytes %d", c.PhaseBytes)
+	}
+	if c.FailureThreshold < 0 {
+		return fmt.Errorf("query: negative FailureThreshold %d", c.FailureThreshold)
+	}
+	return nil
+}
+
 // Stats counts agent-level outcomes at one node.
 type Stats struct {
 	// Samples is the number of local measurements produced.
@@ -486,8 +505,8 @@ func (a *Agent) releaseTxReport(tr *txReport) {
 // NewAgent wires a query agent. sink may be nil (non-root nodes); host
 // must deliver reports to the MAC or a power manager's gate.
 func NewAgent(eng *sim.Engine, id NodeID, tree *routing.Tree, shaper Shaper, host Host, sink Sink, cfg Config) *Agent {
-	if cfg.ReportBytes <= 0 {
-		panic("query: ReportBytes must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	agg := cfg.Agg
 	if agg == nil {

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -69,13 +70,15 @@ type Histogram struct {
 	overflow uint64
 }
 
-// NewHistogram creates a histogram with the given bin width and bin count;
-// values beyond the last bin are counted as overflow.
-func NewHistogram(binWidth time.Duration, bins int) *Histogram {
+// NewHistogram creates a histogram with the given bin width and bin
+// count; values beyond the last bin are counted as overflow. Invalid
+// shapes are errors, not panics, so histogram parameters wired from
+// configuration surface as build failures instead of crashes.
+func NewHistogram(binWidth time.Duration, bins int) (*Histogram, error) {
 	if binWidth <= 0 || bins <= 0 {
-		panic("stats: histogram needs positive bin width and count")
+		return nil, fmt.Errorf("stats: histogram needs positive bin width and count, got %v and %d", binWidth, bins)
 	}
-	return &Histogram{binWidth: binWidth, counts: make([]uint64, bins)}
+	return &Histogram{binWidth: binWidth, counts: make([]uint64, bins)}, nil
 }
 
 // Add records d. Negative durations count into the first bin.

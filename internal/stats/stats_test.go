@@ -80,7 +80,10 @@ func TestCI90LargeSampleUsesNormal(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	h := NewHistogram(25*time.Millisecond, 8)
+	h, err := NewHistogram(25*time.Millisecond, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	h.Add(10 * time.Millisecond)  // bin 0
 	h.Add(25 * time.Millisecond)  // bin 1 (boundary goes up)
 	h.Add(70 * time.Millisecond)  // bin 2
@@ -100,7 +103,10 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestHistogramFractionBelow(t *testing.T) {
-	h := NewHistogram(10*time.Millisecond, 10)
+	h, err := NewHistogram(10*time.Millisecond, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 10; i++ {
 		h.Add(time.Duration(i*10+5) * time.Millisecond) // one per bin
 	}
@@ -119,12 +125,12 @@ func TestHistogramFractionBelow(t *testing.T) {
 }
 
 func TestHistogramValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("invalid histogram accepted")
-		}
-	}()
-	NewHistogram(0, 5)
+	if _, err := NewHistogram(0, 5); err == nil {
+		t.Error("invalid histogram accepted")
+	}
+	if _, err := NewHistogram(time.Millisecond, 0); err == nil {
+		t.Error("zero-bin histogram accepted")
+	}
 }
 
 func TestSummarizeDurations(t *testing.T) {
