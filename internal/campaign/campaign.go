@@ -56,7 +56,8 @@ type RunConfig struct {
 	// the first); <0 selects DefaultMaxRetries.
 	MaxRetries int
 	// RetryBackoff is the base backoff before a retry, grown
-	// exponentially and jittered; <=0 selects DefaultRetryBackoff.
+	// exponentially and jittered; <=0 selects DefaultRetryBackoff and
+	// values above MaxRetryBackoff are clamped to it.
 	RetryBackoff time.Duration
 	// SyncEvery is the journal's fsync batch size; <=0 selects
 	// DefaultSyncEvery.
@@ -75,10 +76,13 @@ type RunConfig struct {
 }
 
 // DefaultMaxRetries caps budget retries; DefaultRetryBackoff is the
-// base delay before the first retry.
+// base delay before the first retry; MaxRetryBackoff caps the
+// exponential growth so a user-settable retry count can never shift
+// the delay into overflow.
 const (
 	DefaultMaxRetries   = 2
 	DefaultRetryBackoff = 50 * time.Millisecond
+	MaxRetryBackoff     = 30 * time.Second
 )
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -91,7 +95,26 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = DefaultRetryBackoff
 	}
+	if c.RetryBackoff > MaxRetryBackoff {
+		c.RetryBackoff = MaxRetryBackoff
+	}
 	return c
+}
+
+// retryDelay is the jittered exponential backoff before retry number
+// attempt+1: base × 2^(attempt-1) capped at MaxRetryBackoff, plus up
+// to 100% jitter. Growth is by doubling under the cap, not shifting —
+// a shift by a user-settable attempt count overflows to a non-positive
+// duration and panics the jitter draw.
+func retryDelay(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < MaxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > MaxRetryBackoff {
+		d = MaxRetryBackoff
+	}
+	return d + time.Duration(rng.Int63n(int64(d)+1))
 }
 
 // Summary reports what one Run did.
@@ -206,6 +229,12 @@ func Run(ctx context.Context, dir string, cfg RunConfig) (*Summary, error) {
 func runPool(ctx context.Context, dir string, cfg RunConfig, j *Journal, pending []corpus.Item, sum *Summary) error {
 	cache := experiment.NewDeployCache(0)
 	work := make(chan corpus.Item)
+	// stop is closed when a worker bails (error or interrupt) so the
+	// feed loop never blocks sending to a pool with no receivers left —
+	// with one worker that block would otherwise be a guaranteed hang.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
 	var mu sync.Mutex
 	var firstErr error
 	fail := func(err error) {
@@ -214,6 +243,7 @@ func runPool(ctx context.Context, dir string, cfg RunConfig, j *Journal, pending
 			firstErr = err
 		}
 		mu.Unlock()
+		halt()
 	}
 
 	var wg sync.WaitGroup
@@ -234,6 +264,7 @@ func runPool(ctx context.Context, dir string, cfg RunConfig, j *Journal, pending
 					mu.Lock()
 					sum.Interrupted = true
 					mu.Unlock()
+					halt()
 					return
 				}
 				mu.Lock()
@@ -270,6 +301,8 @@ feed:
 			mu.Lock()
 			sum.Interrupted = true
 			mu.Unlock()
+			break feed
+		case <-stop:
 			break feed
 		}
 	}
@@ -342,12 +375,8 @@ func runOne(ctx context.Context, dir string, cfg RunConfig, j *Journal, arena *e
 				}}
 			case errors.As(runErr, &be):
 				if attempt <= cfg.MaxRetries {
-					// Jittered exponential backoff: base × 2^(attempt-1),
-					// plus up to 100% jitter.
-					d := cfg.RetryBackoff << (attempt - 1)
-					d += time.Duration(rng.Int63n(int64(d) + 1))
 					select {
-					case <-time.After(d):
+					case <-time.After(retryDelay(cfg.RetryBackoff, attempt, rng)):
 						continue
 					case <-ctx.Done():
 						return nil, nil
@@ -462,12 +491,31 @@ func Merge(dir string) (string, error) {
 		buf = append(buf, '\n')
 	}
 
+	// A unique temp file per caller: racing shard processes can both
+	// reach Merge, and a shared temp path would let their truncates and
+	// writes interleave. Rename is atomic and both write identical
+	// bytes, so whichever lands last is still correct.
 	path := filepath.Join(dir, ResultsName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	tmp, err := os.CreateTemp(dir, ResultsName+".tmp-")
+	if err != nil {
 		return "", fmt.Errorf("campaign: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		return "", fmt.Errorf("campaign: %w", err)
 	}
 	return path, nil

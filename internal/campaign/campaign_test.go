@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -112,6 +113,71 @@ func TestJournalTornFinalLine(t *testing.T) {
 	}
 	if _, err := ReadJournal(path); err == nil {
 		t.Fatal("ReadJournal accepted a corrupt non-final line")
+	}
+}
+
+// TestJournalResumeAfterTornTail: reopening a journal whose final line
+// is torn must truncate the tail before appending — with O_APPEND the
+// first resumed record would otherwise concatenate onto the partial
+// line, turning a tolerated torn tail into corruption that poisons
+// every later read (merge, status, further resumes).
+func TestJournalResumeAfterTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := []Record{
+		{Op: OpClaim, Attempt: 1, ResultRecord: ResultRecord{Index: 0, ID: "a"}},
+		{Op: OpDone, Attempt: 1, ResultRecord: ResultRecord{Index: 0, ID: "a", Status: "ok", Digest: "d0"}},
+	}
+	for _, rec := range pre {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL mid-write: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"done","idx":1,"id":"b","st`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Resume with the default batched config, as a real resume would.
+	j2, err := OpenJournal(path, DefaultSyncEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := []Record{
+		{Op: OpClaim, Attempt: 1, ResultRecord: ResultRecord{Index: 1, ID: "b"}},
+		{Op: OpDone, Attempt: 1, ResultRecord: ResultRecord{Index: 1, ID: "b", Status: "ok", Digest: "d1"}},
+	}
+	for _, rec := range post {
+		if err := j2.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("journal unreadable after resuming past a torn tail: %v", err)
+	}
+	if len(recs) != len(pre)+len(post) {
+		t.Fatalf("read %d records, want %d (torn tail truncated, resumed records intact)", len(recs), len(pre)+len(post))
+	}
+	prog := Replay(recs)
+	if prog.Terminal[0].Digest != "d0" || prog.Terminal[1].Digest != "d1" {
+		t.Fatalf("replay terminals = %+v, want digests d0 and d1", prog.Terminal)
 	}
 }
 
@@ -332,6 +398,66 @@ func TestCampaignQuarantine(t *testing.T) {
 	}
 	if failed.Status != "failed" || failed.FailKind != FailPanic || failed.Quarantine == "" {
 		t.Fatalf("failed result line = %+v, want a quarantined panic failure", failed)
+	}
+}
+
+// TestCampaignWorkerErrorNoDeadlock: when every worker bails on an
+// infrastructure error (here: the quarantine directory is unwritable)
+// while the context is still live, the feed loop must stop instead of
+// blocking forever on the work channel — with one worker that block is
+// a guaranteed hang, turning a reportable error into a wedged process.
+func TestCampaignWorkerErrorNoDeadlock(t *testing.T) {
+	dir := t.TempDir()
+	specs := []*experiment.Spec{
+		{Protocol: string(campaignPanicName), Seed: 3, Nodes: 30, Area: 300,
+			Duration: experiment.Dur(2 * time.Second),
+			Workload: &experiment.WorkloadSpec{BaseRate: 1, PerClass: 1}},
+		{Protocol: string(protocol.NTSSS), Seed: 4, Nodes: 30, Area: 300,
+			Duration: experiment.Dur(2 * time.Second),
+			Workload: &experiment.WorkloadSpec{BaseRate: 1, PerClass: 1}},
+	}
+	items := []corpus.Item{
+		{Index: 0, ID: "0000-campaign-panic", Spec: specs[0]},
+		{Index: 1, ID: "0001-nts-ss", Spec: specs[1]},
+	}
+	if err := corpus.Write(dir, corpus.Config{Seed: 3, Count: 2}, items, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A regular file where the quarantine directory belongs makes the
+	// panic spec's repro-bundle write fail, which errors the worker out.
+	if err := os.WriteFile(filepath.Join(dir, quarantineDir), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		sum *Summary
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		sum, err := Run(context.Background(), dir, RunConfig{Workers: 1, SyncEvery: 1})
+		done <- result{sum, err}
+	}()
+	select {
+	case res := <-done:
+		if res.err == nil {
+			t.Fatalf("Run = %+v, want the quarantine write error", res.sum)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run deadlocked after the worker errored out")
+	}
+}
+
+// TestRetryDelayOverflowSafe: user-settable retry counts must never
+// shift the backoff into overflow — a non-positive duration panics the
+// jitter draw, crashing the worker on the very path retries absorb.
+func TestRetryDelayOverflowSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, attempt := range []int{1, 2, 10, 62, 63, 64, 100, 1 << 20} {
+		d := retryDelay(DefaultRetryBackoff, attempt, rng)
+		if d <= 0 || d > 2*MaxRetryBackoff {
+			t.Fatalf("retryDelay(attempt=%d) = %v, want in (0, %v]", attempt, d, 2*MaxRetryBackoff)
+		}
 	}
 }
 

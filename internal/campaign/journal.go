@@ -83,8 +83,9 @@ type Record struct {
 // and fsync'd in batches (every SyncEvery records) — crash-durable
 // enough that at most a batch of already-finished work is rerun, cheap
 // enough that journaling never gates run throughput. The file format is
-// torn-write tolerant: a reader drops an unparseable final line, which
-// is exactly the state a SIGKILL mid-write leaves behind.
+// torn-write tolerant: a reader drops a torn final line — exactly the
+// state a SIGKILL mid-write leaves behind — and reopening for append
+// truncates it so resumed records never concatenate onto it.
 type Journal struct {
 	mu      sync.Mutex
 	f       *os.File
@@ -99,9 +100,23 @@ const DefaultSyncEvery = 16
 // OpenJournal opens (creating or appending to) the journal at path.
 // syncEvery <= 0 selects DefaultSyncEvery; syncEvery == 1 fsyncs every
 // record.
+//
+// Before opening for append it truncates any torn tail left by a crash
+// mid-write: appending after a partial final line would concatenate
+// the first new record onto it, turning a tolerated torn tail into a
+// corrupt non-final line that poisons every later read.
 func OpenJournal(path string, syncEvery int) (*Journal, error) {
 	if syncEvery <= 0 {
 		syncEvery = DefaultSyncEvery
+	}
+	_, durable, err := readJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(path); err == nil && fi.Size() > durable {
+		if err := os.Truncate(path, durable); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -160,37 +175,59 @@ func (j *Journal) Close() error {
 
 // ReadJournal reads every durable record from the journal at path. A
 // missing file is an empty journal. The final line is allowed to be
-// torn (a partial write from a crash): if it fails to parse it is
-// dropped; an unparseable line anywhere earlier is corruption and an
-// error. Records are returned in file order.
+// torn (a partial write from a crash): if it fails to parse or lacks
+// its terminating newline it is dropped; an unparseable line anywhere
+// earlier is corruption and an error. Records are returned in file
+// order.
 func ReadJournal(path string) ([]Record, error) {
+	recs, _, err := readJournal(path)
+	return recs, err
+}
+
+// readJournal reads the journal plus its durable prefix length: the
+// byte offset just past the last record that is both parseable and
+// newline-terminated. Everything beyond that offset is a torn tail,
+// which OpenJournal truncates before appending.
+func readJournal(path string) ([]Record, int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, fmt.Errorf("campaign: %w", err)
+		return nil, 0, fmt.Errorf("campaign: %w", err)
 	}
-	lines := bytes.Split(data, []byte{'\n'})
 	var recs []Record
-	for i, line := range lines {
-		line = bytes.TrimSpace(line)
+	var durable int64
+	off, lineno := 0, 0
+	for off < len(data) {
+		lineno++
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Newline-less tail: a write cut short by a crash. Even if it
+			// happens to parse, counting it durable would let an append
+			// land on the same line — treat it as torn.
+			break
+		}
+		line := bytes.TrimSpace(data[off : off+nl])
+		end := off + nl + 1
 		if len(line) == 0 {
+			durable = int64(end)
+			off = end
 			continue
 		}
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
-			// Only the final non-empty line may be torn.
-			for _, later := range lines[i+1:] {
-				if len(bytes.TrimSpace(later)) != 0 {
-					return nil, fmt.Errorf("campaign: %s:%d: corrupt journal line: %w", path, i+1, err)
-				}
+			// Only the final non-empty content may be torn.
+			if len(bytes.TrimSpace(data[end:])) != 0 {
+				return nil, 0, fmt.Errorf("campaign: %s:%d: corrupt journal line: %w", path, lineno, err)
 			}
-			return recs, nil
+			break
 		}
 		recs = append(recs, rec)
+		durable = int64(end)
+		off = end
 	}
-	return recs, nil
+	return recs, durable, nil
 }
 
 // Progress is the per-spec state reconstructed from a journal replay.
