@@ -42,6 +42,8 @@ import (
 	"time"
 
 	"github.com/essat/essat/internal/corpus"
+
+	"github.com/essat/essat/internal/stats"
 )
 
 // defaultSpec is a mid-sized run (~150k events, tens of milliseconds)
@@ -349,13 +351,7 @@ func fetchCacheStats(client *http.Client, baseURL string, r *report) {
 
 func buildReport(url string, n, c int, wall time.Duration, lats []time.Duration, ctr *counters) report {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(p float64) float64 {
-		if len(lats) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(lats)-1))
-		return float64(lats[i]) / float64(time.Millisecond)
-	}
+	pct := func(p float64) float64 { return pctMs(lats, p) }
 	return report{
 		URL:            url,
 		Requests:       n,
@@ -371,6 +367,17 @@ func buildReport(url string, n, c int, wall time.Duration, lats []time.Duration,
 		Retries:        ctr.retries.Load(),
 		Errors:         ctr.errors.Load(),
 	}
+}
+
+// pctMs returns the nearest-rank p-th percentile of sorted latencies in
+// milliseconds — the same percentile definition the engine's
+// DurationStats uses (stats.Percentile), so serve-layer and engine
+// reports are comparable.
+func pctMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return float64(stats.Percentile(sorted, p)) / float64(time.Millisecond)
 }
 
 func printReport(r report) {

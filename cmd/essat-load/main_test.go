@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"github.com/essat/essat/internal/stats/statstest"
+)
+
+// The load report's percentiles must agree with the engine's
+// DurationStats definition; both run the same shared table.
+func TestPctMsMatchesSharedTable(t *testing.T) {
+	for _, c := range statstest.PercentileCases {
+		want := float64(c.Want) / float64(time.Millisecond)
+		if got := pctMs(c.Sorted, c.P); got != want {
+			t.Errorf("%s: pctMs(p=%g) = %v, want %v", c.Name, c.P, got, want)
+		}
+	}
+}

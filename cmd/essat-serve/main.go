@@ -30,9 +30,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/essat/essat"
 	"github.com/essat/essat/internal/experiment"
 	"github.com/essat/essat/internal/serve"
 )
@@ -47,12 +49,25 @@ func main() {
 		maxNodes  = flag.Int("max-nodes", 2000, "reject specs larger than this many nodes (0 = unlimited)")
 		seed      = flag.Int64("seed", 1, "base seed for requests that omit one")
 		audit     = flag.Bool("audit", false, "run the invariant auditor on every request")
+		sinks     = flag.String("sinks", "", "comma-separated metric sinks attached to every run whose spec has no results block (timeseries, energy, jsonl); responses then carry records")
 		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight runs")
 		quiet     = flag.Bool("q", false, "suppress per-run logging")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "essat-serve: ", log.LstdFlags)
+	var sinkNames []string
+	if *sinks != "" {
+		// Validate at startup: a typo must fail the boot, not every run.
+		for _, name := range strings.Split(*sinks, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := essat.LookupMetricSink(name); !ok {
+				fmt.Fprintf(os.Stderr, "essat-serve: unknown metric sink %q (registered: %v)\n", name, essat.MetricSinks())
+				os.Exit(1)
+			}
+			sinkNames = append(sinkNames, name)
+		}
+	}
 	cfg := serve.Config{
 		Workers:  *workers,
 		Queue:    *queue,
@@ -60,6 +75,7 @@ func main() {
 		MaxNodes: *maxNodes,
 		BaseSeed: *seed,
 		Audit:    *audit,
+		Sinks:    sinkNames,
 		Log:      logger,
 	}
 	if *quiet {

@@ -21,9 +21,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -62,6 +64,8 @@ func main() {
 		churn    = flag.Int("churn", 0, "crash N random nodes mid-run, each recovering after a quarter of the run (dynamics layer)")
 		burst    = flag.Duration("burst", 0, "inject a traffic burst of this length at mid-run, reports every 250ms (dynamics layer)")
 		audit    = flag.Bool("audit", false, "run the cross-layer invariant auditor and print the trace digest")
+		sinks    = flag.String("sinks", "", "comma-separated metric sinks to attach (timeseries, energy, jsonl; see -list); overrides a spec file's results block. Sink params need a spec file")
+		records  = flag.String("records", "", "write every run's metric-sink records as JSON lines to this file (\"-\" = stdout), schema-validated")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per run; a run exceeding it aborts with exit code 2 (0 = unlimited)")
 	)
 	flag.Parse()
@@ -129,6 +133,13 @@ func main() {
 	if *audit {
 		spec.Audit = true
 	}
+	if *sinks != "" {
+		rs := &essat.ResultsSpec{}
+		for _, name := range strings.Split(*sinks, ",") {
+			rs.Sinks = append(rs.Sinks, essat.SinkSpec{Name: strings.TrimSpace(name)})
+		}
+		spec.Results = rs
+	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
 			seedExplicit = true
@@ -137,6 +148,7 @@ func main() {
 
 	var duty, lat stats.Welford
 	var last, firstViolating *essat.Result
+	var allRecords []essat.MetricRecord
 	for i := int64(0); i < int64(*seeds); i++ {
 		run := *spec
 		// An explicitly passed -seed wins over a spec file's seed; the
@@ -161,7 +173,14 @@ func main() {
 		if res.Audit != nil && res.Audit.Total > 0 && firstViolating == nil {
 			firstViolating = res
 		}
+		allRecords = append(allRecords, res.Records...)
 		last = res
+	}
+
+	if *records != "" {
+		if err := writeRecords(*records, allRecords); err != nil {
+			fatal(err)
+		}
 	}
 
 	printResult(spec, last, duty, lat, *verbose)
@@ -182,6 +201,34 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "essat-sim:", err)
 	os.Exit(1)
+}
+
+// writeRecords exports metric-sink records as JSON lines, validating
+// each against the versioned schema first — the exporter refuses to
+// write a record downstream tooling would reject.
+func writeRecords(path string, recs []essat.MetricRecord) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	for i := range recs {
+		if err := essat.ValidateMetricRecord(&recs[i]); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+		line, err := json.Marshal(recs[i])
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parseChannelFlag decodes the -channel flag: a model name with
@@ -298,6 +345,10 @@ func printRegistries() {
 	for _, k := range essat.DynamicsKinds() {
 		fmt.Printf("  %s\n", k)
 	}
+	fmt.Println("\nmetric sinks (spec \"results\" block; -sinks):")
+	for _, s := range essat.MetricSinks() {
+		fmt.Printf("  %s\n", s)
+	}
 	fmt.Println("\nfigures (essat-bench -fig):")
 	for _, f := range essat.FigureCatalog() {
 		fmt.Printf("  %-20s %s\n", f.ID, f.Title)
@@ -339,6 +390,13 @@ func printResult(spec *essat.Spec, last *essat.Result, duty, lat stats.Welford, 
 	}
 	fmt.Printf("traffic        %d MAC frames sent, %d failed, %d retries, %d timeouts, %d pass-throughs\n",
 		last.MACSent, last.MACFailed, last.MACRetries, last.Timeouts, last.PassThroughs)
+	if len(last.Records) > 0 {
+		names := make([]string, len(last.Records))
+		for i, r := range last.Records {
+			names[i] = r.Sink
+		}
+		fmt.Printf("records        %d sink records per run (%s)\n", len(last.Records), strings.Join(names, ", "))
+	}
 	if a := last.Audit; a != nil {
 		if a.Total == 0 {
 			fmt.Printf("audit          clean: %d events, trace digest %s\n", a.Events, a.Digest)

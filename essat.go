@@ -62,6 +62,7 @@ import (
 	"github.com/essat/essat/internal/protocol"
 	"github.com/essat/essat/internal/query"
 	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/stats"
 	"github.com/essat/essat/internal/topology"
 )
 
@@ -248,6 +249,39 @@ type (
 	ChannelSpec   = experiment.ChannelSpec
 	RadioSpec     = experiment.RadioSpec
 )
+
+// ResultsSpec and SinkSpec are the Spec forms of the results pipeline:
+// a list of metric sinks from the stats registry observing the run,
+// whose records land in Result.Records.
+type (
+	ResultsSpec = experiment.ResultsSpec
+	SinkSpec    = experiment.SinkSpec
+)
+
+// SinkChoice is the Scenario form of one attached metric sink.
+type SinkChoice = experiment.SinkChoice
+
+// MetricRecord is one metric sink's structured output for one run —
+// the mergeable unit the server returns, the campaign journals, and
+// JSONL exports carry one-per-line.
+type MetricRecord = stats.Record
+
+// MetricSchemaVersion is the version stamped into every MetricRecord.
+const MetricSchemaVersion = stats.SchemaVersion
+
+// MetricSinks lists every registered metric sink in presentation order.
+func MetricSinks() []string { return stats.SinkNames() }
+
+// MetricSinkBuilder constructs a metric sink for one run.
+type MetricSinkBuilder = stats.SinkBuilder
+
+// LookupMetricSink returns the sink builder registered under name.
+func LookupMetricSink(name string) (MetricSinkBuilder, bool) { return stats.LookupSink(name) }
+
+// ValidateMetricRecord checks a record against the versioned schema:
+// correct version, named sink, a known kind, and a payload consistent
+// with that kind.
+func ValidateMetricRecord(r *MetricRecord) error { return stats.ValidateRecord(r) }
 
 // Duration is the JSON-friendly duration used throughout Spec; it
 // marshals as a Go duration string ("250ms").

@@ -349,6 +349,7 @@ func runOne(ctx context.Context, dir string, cfg RunConfig, j *Journal, arena *e
 				DutyCycle:     res.DutyCycle,
 				LatencyMeanNs: res.Latency.Mean.Nanoseconds(),
 				Violations:    res.Audit.Total,
+				Records:       res.Records,
 			}}
 
 		case errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):

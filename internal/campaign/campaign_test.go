@@ -497,3 +497,51 @@ func TestCampaignSharded(t *testing.T) {
 		t.Fatalf("merged result set has %d lines, want 4", n)
 	}
 }
+
+// TestCampaignMergeShardInvariant runs the same records-bearing corpus
+// unsharded and split across two shards (completed out of order) and
+// requires byte-identical merged results — the property CI's shard-merge
+// step enforces end to end.
+func TestCampaignMergeShardInvariant(t *testing.T) {
+	read := func(dir string, shards int) []byte {
+		t.Helper()
+		ctx := context.Background()
+		var path string
+		if shards == 1 {
+			sum, err := Run(ctx, dir, RunConfig{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			path = sum.ResultsPath
+		} else {
+			// Finish shards in reverse order: merge output is pinned to
+			// manifest order, not completion order.
+			for s := shards - 1; s >= 0; s-- {
+				sum, err := Run(ctx, dir, RunConfig{Shard: s, Workers: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				path = sum.ResultsPath
+			}
+		}
+		if path == "" {
+			t.Fatal("campaign did not merge")
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	// genCorpus seeds both dirs identically, so the specs match and a
+	// quarter of them carry results blocks (corpus attaches sinks to
+	// every 4th spec in two flavors).
+	plain := read(genCorpus(t, 8, 1), 1)
+	sharded := read(genCorpus(t, 8, 2), 2)
+	if !bytes.Equal(plain, sharded) {
+		t.Fatalf("sharded merge differs from unsharded:\n%s\n---\n%s", plain, sharded)
+	}
+	if !bytes.Contains(plain, []byte(`"records"`)) {
+		t.Fatal("merged results carry no sink records; corpus should attach sinks")
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"github.com/essat/essat/internal/stats"
 )
 
 // Journal record operations.
@@ -62,6 +64,13 @@ type ResultRecord struct {
 	DutyCycle     float64 `json:"duty_cycle,omitempty"`
 	LatencyMeanNs int64   `json:"latency_mean_ns,omitempty"`
 	Violations    int     `json:"violations,omitempty"`
+
+	// Records holds the metric-sink records the spec's results block
+	// requested (versioned schema; see stats.SchemaVersion). Absent for
+	// specs without one, keeping record-less campaigns byte-identical
+	// to earlier journals. The records are deterministic per (spec,
+	// seed), so they merge and compare like every other field here.
+	Records []stats.Record `json:"records,omitempty"`
 
 	// Failure summary (Status "failed"). Error is normalized to be
 	// deterministic (no wall-clock content); Quarantine is the repro

@@ -30,6 +30,7 @@ import (
 	"github.com/essat/essat/internal/phy"
 	"github.com/essat/essat/internal/protocol"
 	"github.com/essat/essat/internal/radio"
+	"github.com/essat/essat/internal/stats"
 	"github.com/essat/essat/internal/topology"
 )
 
@@ -216,6 +217,23 @@ func buildSpec(rng *rand.Rand, cfg Config, idx int, proto, gen, prop, prof, dyn 
 	case "crash+burst":
 		addCrash()
 		addBurst()
+	}
+
+	// Results pipeline coverage: half the corpus requests metric sinks,
+	// so campaign runs continuously prove sink records survive
+	// journaling, sharding, and merges byte-identically. The draw comes
+	// after every existing one, keeping pre-results corpora reproducible
+	// from the same seeds.
+	switch idx % 4 {
+	case 1:
+		spec.Results = &experiment.ResultsSpec{Sinks: []experiment.SinkSpec{
+			{Name: stats.SinkEnergy},
+			{Name: stats.SinkTimeseries, Params: map[string]float64{
+				"bucket_ms": float64(250 * (1 + rng.Intn(4))),
+			}},
+		}}
+	case 3:
+		spec.Results = &experiment.ResultsSpec{Sinks: []experiment.SinkSpec{{Name: stats.SinkJSONL}}}
 	}
 	return spec
 }

@@ -182,11 +182,28 @@ type Scenario struct {
 	// runs are byte-identical with the auditor on or off.
 	Audit bool
 
+	// Sinks selects additional metric sinks from the stats registry
+	// ("timeseries", "energy", "jsonl", ...) to observe the run; the
+	// spec layer's results block compiles here. The root
+	// latency/coverage recorder is always attached first, so an empty
+	// list is the historical default. Sinks are pure observers — trace
+	// digests and all legacy Result fields are identical with any
+	// selection — and their records land in Result.Records in this
+	// order.
+	Sinks []SinkChoice
+
 	// SyncCfg, PsmCfg and TmacCfg tune the baselines; zero values select
 	// defaults.
 	SyncCfg baseline.SyncConfig
 	PsmCfg  baseline.PsmConfig
 	TmacCfg baseline.TmacConfig
+}
+
+// SinkChoice names one metric sink plus its parameters (validated by
+// the sink's builder at build time).
+type SinkChoice struct {
+	Name   string
+	Params map[string]float64
 }
 
 // DefaultScenario returns the paper's experimental setup with the given
@@ -302,6 +319,12 @@ type Result struct {
 	// event count, violations); nil unless Scenario.Audit was set.
 	Audit *check.Summary
 
+	// Records holds the structured outputs of the metric sinks selected
+	// by Scenario.Sinks (the spec's results block), in configuration
+	// order. Empty on default runs: the always-on root recorder feeds
+	// Latency/LatencyByClass/Coverage instead of emitting a record.
+	Records []stats.Record
+
 	// EnergyMean and EnergyMax are per-node radio energy over the
 	// measurement window in joules, under a MICA2-class power profile.
 	// NetworkLifetime extrapolates the worst node's draw against a 20 kJ
@@ -336,6 +359,7 @@ type Sim struct {
 	Nodes    map[node.NodeID]*node.Node
 
 	sink      *stats.RootSink
+	fan       *stats.Fanout
 	tracer    *trace.Tracer
 	auditor   *check.Auditor
 	profile   radio.PowerProfile
@@ -492,8 +516,35 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 		return nil, err
 	}
 
-	sink := stats.NewRootSink(sc.Queries)
-	sink.MeasureFrom = sc.MeasureFrom
+	// The results pipeline: the root recorder comes off the sink
+	// registry like any other sink (proving the port), extra sinks
+	// follow in configuration order, and a fanout dispatches every hook
+	// to all of them. Sinks are pure observers, so the run itself is
+	// byte-identical with any selection.
+	sinkCfg := stats.SinkConfig{
+		Queries:     sc.Queries,
+		Duration:    sc.Duration,
+		MeasureFrom: sc.MeasureFrom,
+	}
+	rootObs, err := stats.NewSink(stats.SinkRoot, sinkCfg)
+	if err != nil {
+		return nil, err
+	}
+	sink := rootObs.(*stats.RootSink)
+	observers := []stats.Sink{sink}
+	for _, choice := range sc.Sinks {
+		if choice.Name == stats.SinkRoot {
+			continue // always attached first
+		}
+		cfg := sinkCfg
+		cfg.Params = choice.Params
+		extra, err := stats.NewSink(choice.Name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		observers = append(observers, extra)
+	}
+	fan := stats.NewFanout(observers...)
 
 	var tracer *trace.Tracer
 	if sc.TraceCapacity > 0 {
@@ -541,7 +592,7 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 		}
 		var s query.Sink
 		if id == root {
-			s = sink
+			s = fan
 			if auditor != nil {
 				s = auditor.WrapSink(s)
 			}
@@ -549,6 +600,12 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 		if auditor != nil {
 			n.MAC.SetObserver(auditor)
 			auditor.WatchRadio(id, n.Radio, auditProfile)
+		}
+		if fan.WantsRadio() {
+			id := id
+			n.Radio.Subscribe(func(old, new radio.State) {
+				fan.RadioChanged(int(id), old, new, eng.Now())
+			})
 		}
 		if err := builder.Build(&protocol.BuildContext{
 			Eng:      eng,
@@ -717,6 +774,7 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 		Channel:  ch,
 		Nodes:    nodes,
 		sink:     sink,
+		fan:      fan,
 		tracer:   tracer,
 		auditor:  auditor,
 		profile:  prof.Power,
@@ -770,7 +828,7 @@ func (s *Sim) Simulate() {
 // Collect aggregates the run's metrics into a Result. Call it after
 // Simulate.
 func (s *Sim) Collect() *Result {
-	res := collect(s.Scenario, s.Eng, s.Tree, s.Channel, s.Nodes, s.sink, s.profile, s.activeAt0, s.energyAt0)
+	res := collect(s.Scenario, s.Eng, s.Tree, s.Channel, s.Nodes, s.sink, s.fan, s.profile, s.activeAt0, s.energyAt0)
 	countRun(s.Scenario, res.Events)
 	res.FirstDeath = s.firstDeath
 	res.BatteryDeaths = s.batteryDeaths
@@ -926,7 +984,7 @@ func pickVictim(rng *rand.Rand, tree *routing.Tree) node.NodeID {
 }
 
 func collect(sc Scenario, eng *sim.Engine, tree *routing.Tree, ch *phy.Channel,
-	nodes map[node.NodeID]*node.Node, sink *stats.RootSink, profile radio.PowerProfile,
+	nodes map[node.NodeID]*node.Node, sink *stats.RootSink, fan *stats.Fanout, profile radio.PowerProfile,
 	activeAt0 map[node.NodeID]time.Duration, energyAt0 map[node.NodeID]float64) *Result {
 
 	res := &Result{
@@ -981,6 +1039,8 @@ func collect(sc Scenario, eng *sim.Engine, tree *routing.Tree, ch *phy.Channel,
 		if dts, ok := n.Agent.Shaper().(*core.DTS); ok {
 			res.PhaseShifts += dts.Stats().PhaseShifts
 		}
+
+		fan.NodeDone(stats.NodeSummary{Node: int(id), Rank: r, Duty: dc, EnergyJ: e})
 	}
 	res.DutyCycle = duty.Mean()
 	for r, w := range dutyRank {
@@ -996,6 +1056,13 @@ func collect(sc Scenario, eng *sim.Engine, tree *routing.Tree, ch *phy.Channel,
 		res.LatencyByClass[class] = stats.SummarizeDurations(ls)
 	}
 	res.Coverage = sink.MeanCoverage()
+	res.Records = fan.Records(stats.RunMeta{
+		Protocol:    string(sc.Protocol),
+		Seed:        sc.Seed,
+		Duration:    sc.Duration,
+		MeasureFrom: sc.MeasureFrom,
+		TreeSize:    tree.Size(),
+	})
 	res.EnergyMean = energy.Mean()
 	if res.EnergyMax > 0 {
 		// 20 kJ ≈ a pair of AA cells' usable energy at sensor loads. The

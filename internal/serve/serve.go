@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/essat/essat/internal/experiment"
+	"github.com/essat/essat/internal/stats"
 )
 
 // Config tunes one Server. Zero values select the documented defaults.
@@ -65,6 +66,12 @@ type Config struct {
 	// Audit forces the cross-layer invariant auditor on every run, so
 	// each response carries a trace digest.
 	Audit bool
+	// Sinks names metric sinks (stats.SinkNames) attached to every run
+	// whose spec has no results block of its own, so each response
+	// carries their records. Names must be validated by the caller
+	// (essat-serve does it at startup); an invalid name fails runs with
+	// bad_spec.
+	Sinks []string
 	// Log receives one line per completed run and per shed/panic; nil
 	// disables logging.
 	Log *log.Logger
@@ -102,6 +109,11 @@ type RunResponse struct {
 	Events        uint64  `json:"events"`
 	ElapsedMs     float64 `json:"elapsed_ms"`
 	Audit         *Audit  `json:"audit,omitempty"`
+	// Records carries the metric-sink records (versioned schema; see
+	// stats.SchemaVersion) when the spec's results block or the server's
+	// -sinks flag selected sinks; absent otherwise, so sink-less
+	// responses are byte-identical to earlier servers'.
+	Records []stats.Record `json:"records,omitempty"`
 }
 
 // Audit is the response form of the invariant auditor's summary.
@@ -387,6 +399,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Audit {
 		spec.Audit = true
 	}
+	if len(s.cfg.Sinks) > 0 && spec.Results == nil {
+		rs := &experiment.ResultsSpec{}
+		for _, name := range s.cfg.Sinks {
+			rs.Sinks = append(rs.Sinks, experiment.SinkSpec{Name: name})
+		}
+		spec.Results = rs
+	}
 
 	release := s.acquire(w, r)
 	if release == nil {
@@ -460,6 +479,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if res.Audit != nil {
 		resp.Audit = &Audit{Digest: res.Audit.Digest, Events: res.Audit.Events, Violations: res.Audit.Total}
 	}
+	resp.Records = res.Records
 	writeJSON(w, http.StatusOK, resp)
 }
 

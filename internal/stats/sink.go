@@ -31,7 +31,23 @@ type RootSink struct {
 	MeasureFrom time.Duration
 }
 
-var _ query.Sink = (*RootSink)(nil)
+var (
+	_ query.Sink = (*RootSink)(nil)
+	_ Sink       = (*RootSink)(nil)
+)
+
+// Name implements Sink; the root recorder registers as SinkRoot.
+func (s *RootSink) Name() string { return SinkRoot }
+
+// NodeDone implements Sink. The root recorder observes only root-side
+// report/interval hooks; per-node accounting flows to other sinks.
+func (s *RootSink) NodeDone(NodeSummary) {}
+
+// Finish implements Sink. The root recorder feeds the legacy Result
+// fields (latency summaries, coverage) rather than emitting a record,
+// so default runs serialize exactly as they did before the registry
+// existed.
+func (s *RootSink) Finish(RunMeta) *Record { return nil }
 
 // NewRootSink creates a sink for the given query specs.
 func NewRootSink(specs []query.Spec) *RootSink {

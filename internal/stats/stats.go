@@ -109,7 +109,11 @@ func (h *Histogram) Total() uint64 { return h.total }
 func (h *Histogram) Overflow() uint64 { return h.overflow }
 
 // FractionBelow returns the fraction of recorded values strictly below d,
-// approximated at bin granularity (partial bins prorated linearly).
+// approximated at bin granularity (partial bins prorated linearly). The
+// overflow bucket is an unbounded bin starting at the histogram range
+// end: its values count in full once d clears the range (they cannot be
+// prorated — only their lower bound is known), so the fraction is
+// monotone in d and reaches 1.0 for thresholds beyond the range.
 func (h *Histogram) FractionBelow(d time.Duration) float64 {
 	if h.total == 0 {
 		return 0
@@ -124,6 +128,9 @@ func (h *Histogram) FractionBelow(d time.Duration) float64 {
 		case lo < d:
 			below += float64(c) * float64(d-lo) / float64(h.binWidth)
 		}
+	}
+	if d > time.Duration(len(h.counts))*h.binWidth {
+		below += float64(h.overflow)
 	}
 	return below / float64(h.total)
 }
@@ -149,15 +156,37 @@ func SummarizeDurations(ds []time.Duration) DurationStats {
 	for _, d := range sorted {
 		sum += d
 	}
-	pick := func(p float64) time.Duration {
-		i := int(p * float64(len(sorted)-1))
-		return sorted[i]
-	}
 	return DurationStats{
 		N:    len(sorted),
 		Mean: sum / time.Duration(len(sorted)),
-		P50:  pick(0.50),
-		P95:  pick(0.95),
+		P50:  Percentile(sorted, 0.50),
+		P95:  Percentile(sorted, 0.95),
 		Max:  sorted[len(sorted)-1],
 	}
+}
+
+// Percentile returns the nearest-rank p-th percentile of sorted
+// (ascending) durations: the smallest element with at least ceil(p·n)
+// values at or below it. Unlike a floor-index pick, nearest-rank never
+// collapses the tail — P95 of two samples is the max, not the min. p is
+// clamped to [0, 1]; an empty slice yields 0.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return sorted[i]
 }

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"github.com/essat/essat/internal/stats/statstest"
 )
 
 func TestWelfordBasics(t *testing.T) {
@@ -160,5 +162,99 @@ func TestSummarizeDurations(t *testing.T) {
 func TestSummarizeEmpty(t *testing.T) {
 	if s := SummarizeDurations(nil); s.N != 0 || s.Mean != 0 {
 		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+// Regression: FractionBelow ignored the overflow bin entirely, so a
+// histogram with any overflowed samples could never report 1.0 and a
+// threshold past the binned range undercounted by overflow/total.
+func TestFractionBelowCountsOverflow(t *testing.T) {
+	h, err := NewHistogram(10*time.Millisecond, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(time.Duration(i*10+5) * time.Millisecond) // bins 0..4
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(500 * time.Millisecond) // overflow
+	}
+	// Within the binned range overflow must not leak in.
+	if got := h.FractionBelow(50 * time.Millisecond); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("FractionBelow(50ms) = %v, want 0.5", got)
+	}
+	// At exactly the range end the unbounded overflow bin has zero
+	// width covered, so it still contributes nothing.
+	if got := h.FractionBelow(100 * time.Millisecond); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("FractionBelow(100ms) = %v, want 0.5", got)
+	}
+	// Past the range end overflow counts in full: the fraction reaches 1.
+	if got := h.FractionBelow(101 * time.Millisecond); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("FractionBelow(101ms) = %v, want 1.0", got)
+	}
+	if got := h.FractionBelow(time.Hour); got != 1.0 {
+		t.Fatalf("FractionBelow(1h) = %v, want 1.0", got)
+	}
+}
+
+func TestFractionBelowAllOverflow(t *testing.T) {
+	h, err := NewHistogram(time.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		h.Add(time.Second)
+	}
+	if got := h.FractionBelow(4 * time.Millisecond); got != 0 {
+		t.Fatalf("FractionBelow(range end) = %v, want 0", got)
+	}
+	if got := h.FractionBelow(5 * time.Millisecond); got != 1.0 {
+		t.Fatalf("FractionBelow(past range) = %v, want 1.0", got)
+	}
+}
+
+// FractionBelow must be monotone non-decreasing in the threshold even
+// across the binned-range boundary where overflow starts counting.
+func TestFractionBelowMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h, err := NewHistogram(5*time.Millisecond, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		h.Add(time.Duration(rng.Intn(200)) * time.Millisecond)
+	}
+	prev := -1.0
+	for d := time.Duration(0); d <= 250*time.Millisecond; d += time.Millisecond {
+		got := h.FractionBelow(d)
+		if got < prev-1e-12 {
+			t.Fatalf("FractionBelow not monotone at %v: %v < %v", d, got, prev)
+		}
+		prev = got
+	}
+	if prev != 1.0 {
+		t.Fatalf("FractionBelow beyond all samples = %v, want 1.0", prev)
+	}
+}
+
+// TestPercentileNearestRank pins Percentile to the shared table; the
+// essat-load driver runs the same cases against its report helper.
+func TestPercentileNearestRank(t *testing.T) {
+	for _, c := range statstest.PercentileCases {
+		if got := Percentile(c.Sorted, c.P); got != c.Want {
+			t.Errorf("%s: Percentile(p=%g) = %v, want %v", c.Name, c.P, got, c.Want)
+		}
+	}
+}
+
+// Regression: the old floor-index formula made P95 of a two-sample set
+// equal its minimum.
+func TestSummarizeDurationsTwoSampleP95(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{20 * time.Millisecond, 10 * time.Millisecond})
+	if s.P95 != 20*time.Millisecond {
+		t.Fatalf("P95 = %v, want 20ms (nearest-rank)", s.P95)
+	}
+	if s.P50 != 10*time.Millisecond {
+		t.Fatalf("P50 = %v, want 10ms", s.P50)
 	}
 }

@@ -1,0 +1,46 @@
+// Package statstest holds the nearest-rank percentile test table shared
+// by internal/stats and cmd/essat-load, so the engine's DurationStats
+// and the load driver's report stay pinned to the same definition.
+package statstest
+
+import "time"
+
+// PercentileCase is one nearest-rank expectation: Sorted must already be
+// in ascending order, as both implementations require.
+type PercentileCase struct {
+	Name   string
+	Sorted []time.Duration
+	P      float64
+	Want   time.Duration
+}
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// PercentileCases covers the empty/single/clamp edges plus the N=2 P95
+// regression: the old floor-index formula returned the minimum there.
+var PercentileCases = []PercentileCase{
+	{Name: "empty", Sorted: nil, P: 0.95, Want: 0},
+	{Name: "single-p50", Sorted: []time.Duration{ms(7)}, P: 0.50, Want: ms(7)},
+	{Name: "single-p95", Sorted: []time.Duration{ms(7)}, P: 0.95, Want: ms(7)},
+	{Name: "two-p50", Sorted: []time.Duration{ms(10), ms(20)}, P: 0.50, Want: ms(10)},
+	{Name: "two-p95-regression", Sorted: []time.Duration{ms(10), ms(20)}, P: 0.95, Want: ms(20)},
+	{Name: "five-p25", Sorted: []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5)}, P: 0.25, Want: ms(2)},
+	{Name: "five-p50", Sorted: []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5)}, P: 0.50, Want: ms(3)},
+	{Name: "five-p95", Sorted: []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5)}, P: 0.95, Want: ms(5)},
+	{Name: "clamp-low", Sorted: []time.Duration{ms(1), ms(2), ms(3)}, P: -0.5, Want: ms(1)},
+	{Name: "p-zero", Sorted: []time.Duration{ms(1), ms(2), ms(3)}, P: 0, Want: ms(1)},
+	{Name: "p-one", Sorted: []time.Duration{ms(1), ms(2), ms(3)}, P: 1, Want: ms(3)},
+	{Name: "clamp-high", Sorted: []time.Duration{ms(1), ms(2), ms(3)}, P: 1.5, Want: ms(3)},
+	{Name: "twenty-p95", Sorted: seq(20), P: 0.95, Want: ms(19)},
+	{Name: "hundred-p95", Sorted: seq(100), P: 0.95, Want: ms(95)},
+	{Name: "hundred-p99", Sorted: seq(100), P: 0.99, Want: ms(99)},
+}
+
+// seq returns [1ms, 2ms, ..., n ms].
+func seq(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = ms(i + 1)
+	}
+	return out
+}
