@@ -21,6 +21,7 @@ package main
 
 import (
 	"context"
+	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -65,8 +66,11 @@ func main() {
 		burst    = flag.Duration("burst", 0, "inject a traffic burst of this length at mid-run, reports every 250ms (dynamics layer)")
 		audit    = flag.Bool("audit", false, "run the cross-layer invariant auditor and print the trace digest")
 		sinks    = flag.String("sinks", "", "comma-separated metric sinks to attach (timeseries, energy, jsonl; see -list); overrides a spec file's results block. Sink params need a spec file")
-		records  = flag.String("records", "", "write every run's metric-sink records as JSON lines to this file (\"-\" = stdout), schema-validated")
+		records  = flag.String("records", "", "write every run's metric-sink records to this file (\"-\" = stdout), schema-validated")
+		recFmt   = flag.String("records-format", "jsonl", "records export format: jsonl (one JSON record per line) or csv (flattened long format, one value per row)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per run; a run exceeding it aborts with exit code 2 (0 = unlimited)")
+		shards   = flag.Int("shards", 0, "run the engine sharded over N spatial partitions (0 = spec/default sequential; overrides a spec file's parallelism block)")
+		lookahd  = flag.Duration("lookahead", 0, "cross-shard lookahead override for -shards > 1 (0 = derive from topology + MAC DIFS)")
 	)
 	flag.Parse()
 
@@ -133,6 +137,11 @@ func main() {
 	if *audit {
 		spec.Audit = true
 	}
+	if *shards > 0 {
+		spec.Parallelism = &essat.ParallelismSpec{Shards: *shards, Lookahead: essat.Dur(*lookahd)}
+	} else if *lookahd > 0 {
+		fatal(errors.New("-lookahead requires -shards"))
+	}
 	if *sinks != "" {
 		rs := &essat.ResultsSpec{}
 		for _, name := range strings.Split(*sinks, ",") {
@@ -178,9 +187,11 @@ func main() {
 	}
 
 	if *records != "" {
-		if err := writeRecords(*records, allRecords); err != nil {
+		if err := writeRecords(*records, *recFmt, allRecords); err != nil {
 			fatal(err)
 		}
+	} else if *recFmt != "jsonl" {
+		fatal(errors.New("-records-format requires -records"))
 	}
 
 	printResult(spec, last, duty, lat, *verbose)
@@ -203,10 +214,12 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// writeRecords exports metric-sink records as JSON lines, validating
-// each against the versioned schema first — the exporter refuses to
-// write a record downstream tooling would reject.
-func writeRecords(path string, recs []essat.MetricRecord) error {
+// writeRecords exports metric-sink records, validating each against
+// the versioned schema first — the exporter refuses to write a record
+// downstream tooling would reject. Formats: "jsonl" (one JSON record
+// per line, payload structure preserved) and "csv" (flattened long
+// format, one value per row — see writeRecordsCSV).
+func writeRecords(path, format string, recs []essat.MetricRecord) error {
 	var w io.Writer = os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -220,15 +233,113 @@ func writeRecords(path string, recs []essat.MetricRecord) error {
 		if err := essat.ValidateMetricRecord(&recs[i]); err != nil {
 			return fmt.Errorf("record %d: %w", i, err)
 		}
-		line, err := json.Marshal(recs[i])
-		if err != nil {
-			return err
+	}
+	switch format {
+	case "jsonl":
+		for i := range recs {
+			line, err := json.Marshal(recs[i])
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+				return err
+			}
 		}
-		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
-			return err
+		return nil
+	case "csv":
+		return writeRecordsCSV(w, recs)
+	default:
+		return fmt.Errorf("unknown records format %q (want jsonl or csv)", format)
+	}
+}
+
+// writeRecordsCSV flattens records into a tidy long-format table: one
+// value per row, with the payload dimensions (node, rank, query,
+// interval, the series/histogram x-coordinate) as sparse columns.
+// Scalars become field=<name> rows; series samples field="series" rows
+// with x = bucket midpoint time in ms; histogram bins field="histogram"
+// rows with x = bin lower edge (plus a "histogram_overflow" row when
+// nonzero); events one row per populated measure. Row order follows
+// the record slice, so output is as deterministic as the records.
+func writeRecordsCSV(w io.Writer, recs []essat.MetricRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"sink", "kind", "protocol", "seed", "field",
+		"node", "rank", "query", "interval", "x", "value", "unit",
+	}); err != nil {
+		return err
+	}
+	ftoa := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	itoa := strconv.Itoa
+	for ri := range recs {
+		r := &recs[ri]
+		row := func(field, node, rank, query, interval, x, value, unit string) error {
+			return cw.Write([]string{
+				r.Sink, r.Kind, r.Protocol, strconv.FormatInt(r.Seed, 10),
+				field, node, rank, query, interval, x, value, unit,
+			})
+		}
+		names := make([]string, 0, len(r.Scalars))
+		for name := range r.Scalars {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := row(name, "", "", "", "", "", ftoa(r.Scalars[name]), ""); err != nil {
+				return err
+			}
+		}
+		for _, s := range r.Series {
+			for bi, v := range s.Values {
+				x := (float64(bi) + 0.5) * s.BucketMs
+				if err := row("series", itoa(s.Node), itoa(s.Rank), "", "", ftoa(x), ftoa(v), "ms"); err != nil {
+					return err
+				}
+			}
+		}
+		if h := r.Histogram; h != nil {
+			for bi, c := range h.Counts {
+				lo := float64(bi) * h.BinWidth
+				if err := row("histogram", "", "", "", "", ftoa(lo), strconv.FormatUint(c, 10), h.Unit); err != nil {
+					return err
+				}
+			}
+			if h.Overflow > 0 {
+				lo := float64(len(h.Counts)) * h.BinWidth
+				if err := row("histogram_overflow", "", "", "", "", ftoa(lo), strconv.FormatUint(h.Overflow, 10), h.Unit); err != nil {
+					return err
+				}
+			}
+		}
+		for _, e := range r.Events {
+			query := ""
+			if e.Query != 0 {
+				query = strconv.FormatInt(e.Query, 10)
+			}
+			switch e.Kind {
+			case "report", "interval":
+				if err := row(e.Kind+"_latency", "", "", query, itoa(e.Interval),
+					"", strconv.FormatInt(e.LatencyNs, 10), "ns"); err != nil {
+					return err
+				}
+				if e.Kind == "interval" {
+					if err := row("interval_coverage", "", "", query, itoa(e.Interval),
+						"", itoa(e.Coverage), ""); err != nil {
+						return err
+					}
+				}
+			case "node":
+				if err := row("node_duty_cycle", itoa(e.Node), itoa(e.Rank), "", "", "", ftoa(e.DutyCycle), ""); err != nil {
+					return err
+				}
+				if err := row("node_energy", itoa(e.Node), itoa(e.Rank), "", "", "", ftoa(e.EnergyJ), "J"); err != nil {
+					return err
+				}
+			}
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 // parseChannelFlag decodes the -channel flag: a model name with

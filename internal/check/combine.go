@@ -1,0 +1,48 @@
+package check
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// maxRetained mirrors the auditor's violation retention cap for the
+// combined report.
+const combineMaxRetained = 32
+
+// Combine folds the per-shard summaries of a parallel run into one
+// report. Each shard's auditor observed a sequential sub-trace; the
+// combined digest is FNV-1a over the shard digests in shard order, so
+// it is deterministic for a fixed (seed, shard count, lookahead) and
+// changes if any shard's trace changes. A single summary is returned
+// unchanged — a 1-shard combination is its shard's report.
+func Combine(parts []*Summary) *Summary {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	out := &Summary{}
+	for _, p := range parts {
+		d, err := strconv.ParseUint(p.Digest, 16, 64)
+		if err != nil {
+			// A malformed digest cannot silently vanish from the fold.
+			d = ^uint64(0)
+		}
+		for i := 0; i < 8; i++ {
+			h = (h ^ (d & 0xff)) * fnvPrime
+			d >>= 8
+		}
+		out.Events += p.Events
+		out.Total += p.Total
+		for _, v := range p.Violations {
+			if len(out.Violations) < combineMaxRetained {
+				out.Violations = append(out.Violations, v)
+			}
+		}
+	}
+	out.Digest = fmt.Sprintf("%016x", h)
+	return out
+}

@@ -182,6 +182,25 @@ type Scenario struct {
 	// runs are byte-identical with the auditor on or off.
 	Audit bool
 
+	// Shards enables the sharded parallel engine when > 1: the
+	// deployment is cut into that many spatial shards (topology
+	// partitioner), each running its own engine + channel lane on its
+	// own goroutine inside conservative windows of the cross-shard
+	// lookahead, with boundary traffic exchanged at window barriers
+	// (phy.Mesh). Cross-shard links behave as if they had `Lookahead`
+	// of propagation delay — the standard federated-simulation
+	// approximation — so results are deterministic per (seed, Shards,
+	// Lookahead) but not bit-identical across shard counts; Shards <= 1
+	// is the unmodified sequential engine. Tracing, dynamics injectors,
+	// the §4.3 failure detector, and radio-observing sinks are not yet
+	// supported in parallel mode and fail the build.
+	Shards int
+	// Lookahead overrides the derived cross-shard latency; zero derives
+	// DIFS + worst-case propagation from the MAC and topology (see
+	// phy.CrossShardLookahead). Larger values cut barrier overhead at
+	// the cost of more boundary-timing distortion.
+	Lookahead time.Duration
+
 	// Sinks selects additional metric sinks from the stats registry
 	// ("timeseries", "energy", "jsonl", ...) to observe the run; the
 	// spec layer's results block compiles here. The root
@@ -352,22 +371,36 @@ func Run(sc Scenario) (*Result, error) {
 // exported pieces before Simulate.
 type Sim struct {
 	Scenario Scenario
-	Eng      *sim.Engine
-	Topo     *topology.Topology
-	Tree     *routing.Tree
-	Channel  *phy.Channel
-	Nodes    map[node.NodeID]*node.Node
+	// Eng is the (first) engine; parallel runs have one per shard, with
+	// Eng == engines[0]. Channel is likewise the first lane.
+	Eng     *sim.Engine
+	Topo    *topology.Topology
+	Tree    *routing.Tree
+	Channel *phy.Channel
+	Nodes   map[node.NodeID]*node.Node
+
+	engines   []*sim.Engine
+	chans     []*phy.Channel
+	mesh      *phy.Mesh
+	part      *topology.Partition
+	lookahead time.Duration
 
 	sink      *stats.RootSink
 	fan       *stats.Fanout
 	tracer    *trace.Tracer
-	auditor   *check.Auditor
+	auditors  []*check.Auditor
 	profile   radio.PowerProfile
-	activeAt0 map[node.NodeID]time.Duration
-	energyAt0 map[node.NodeID]float64
+	activeAt0 []time.Duration
+	energyAt0 []float64
 
-	firstDeath    time.Duration
-	batteryDeaths int
+	battery []shardBattery
+}
+
+// shardBattery is one shard's battery-exhaustion accounting (written
+// only by that shard's goroutine); sequential runs use a single entry.
+type shardBattery struct {
+	firstDeath time.Duration
+	deaths     int
 }
 
 // Build constructs the scenario's simulation without running it: place
@@ -392,6 +425,21 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 	}
 	if sc.Duration <= 0 {
 		return nil, fmt.Errorf("experiment: non-positive duration %v", sc.Duration)
+	}
+	K := 1
+	if sc.Shards > 1 {
+		K = sc.Shards
+		// Features whose state is shared across nodes of different
+		// shards (and therefore across goroutines) are gated until they
+		// grow a parallel-safe path.
+		switch {
+		case sc.TraceCapacity > 0:
+			return nil, fmt.Errorf("experiment: tracing is not supported with shards > 1")
+		case len(sc.Dynamics) > 0:
+			return nil, fmt.Errorf("experiment: dynamics injectors are not supported with shards > 1")
+		case sc.QueryCfg.FailureThreshold > 0:
+			return nil, fmt.Errorf("experiment: the failure detector (tree re-parenting) is not supported with shards > 1")
+		}
 	}
 	builder, ok := protocol.Lookup(sc.Protocol)
 	if !ok {
@@ -420,7 +468,21 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 	if rcfg == (radio.Config{}) {
 		rcfg = prof.Config()
 	}
-	eng := a.engine(sc.Seed)
+	// Shard 0's engine is the arena's reusable one and carries all
+	// build-time randomness (placement, victim picks, flow endpoints),
+	// so a 1-shard build is bit-identical to the historical sequential
+	// path. Additional shards get fresh engines with their own arenas —
+	// per-shard freelists and slabs are what keep the hot path
+	// allocation-free without cross-goroutine sharing — and decorrelated
+	// rng streams.
+	engines := make([]*sim.Engine, K)
+	engines[0] = a.engine(sc.Seed)
+	for s := 1; s < K; s++ {
+		e := sim.New(sc.Seed ^ int64(s)*-0x61c8864680b583eb)
+		e.SetArena(sim.NewArena())
+		engines[s] = e
+	}
+	eng := engines[0]
 
 	// Gray-zone models deliver past the nominal range: widen the
 	// candidate-neighbor graph to the model's conservative maximum.
@@ -491,10 +553,24 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 		}
 	}
 
-	ch, err := phy.NewChannel(eng, topo, chCfg)
-	if err != nil {
-		return nil, err
+	// Parallel mode: partition the plane and give every shard its own
+	// channel lane over the shared topology. Sequentially there is one
+	// lane and no partition.
+	var part *topology.Partition
+	if K > 1 {
+		part, err = topology.PartitionGrid(topo, K)
+		if err != nil {
+			return nil, err
+		}
 	}
+	chans := make([]*phy.Channel, K)
+	for s := 0; s < K; s++ {
+		chans[s], err = phy.NewChannel(engines[s], topo, chCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ch := chans[0]
 
 	macCfg := sc.MACCfg
 	if macCfg.SlotTime == 0 {
@@ -506,6 +582,35 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 	// returned build error, never a crashed worker.
 	if err := macCfg.Validate(); err != nil {
 		return nil, err
+	}
+
+	// Mesh the lanes: boundary transmissions cross with `lookahead` of
+	// latency, deep-copied so pooled sender-side framing and payloads
+	// are never aliased across goroutines.
+	var mesh *phy.Mesh
+	lookahead := sc.Lookahead
+	if K > 1 {
+		if lookahead <= 0 {
+			lookahead = phy.CrossShardLookahead(topo, macCfg.DIFS)
+		}
+		mesh, err = phy.NewMesh(chans, part.Assign, lookahead, func(p any) any {
+			return mac.TransitClone(p, cloneTransitPayload)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	engOf := func(id node.NodeID) *sim.Engine {
+		if part == nil {
+			return eng
+		}
+		return engines[part.Assign[id]]
+	}
+	chOf := func(id node.NodeID) *phy.Channel {
+		if part == nil {
+			return ch
+		}
+		return chans[part.Assign[id]]
 	}
 	qCfg := sc.QueryCfg
 	if qCfg.ReportBytes == 0 {
@@ -545,6 +650,9 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 		observers = append(observers, extra)
 	}
 	fan := stats.NewFanout(observers...)
+	if K > 1 && fan.WantsRadio() {
+		return nil, fmt.Errorf("experiment: radio-observing sinks are not supported with shards > 1")
+	}
 
 	var tracer *trace.Tracer
 	if sc.TraceCapacity > 0 {
@@ -554,15 +662,30 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 	// The invariant auditor observes every layer but never acts: with it
 	// enabled, the run stays byte-identical. All hooks installed here and
 	// in the per-node loop below are nil (and free) when auditing is off.
-	var auditor *check.Auditor
+	// Parallel runs get one auditor per shard, each observing its own
+	// engine and lane; Collect folds the summaries (check.Combine).
+	var auditors []*check.Auditor
 	auditProfile := prof.Power
 	if sc.Audit {
-		auditor = check.New(eng.Now)
-		eng.SetObserver(auditor)
-		ch.SetObserver(auditor)
-		for _, q := range sc.Queries {
-			auditor.RegisterQuery(q)
+		auditors = make([]*check.Auditor, K)
+		for s := range auditors {
+			ad := check.New(engines[s].Now)
+			engines[s].SetObserver(ad)
+			chans[s].SetObserver(ad)
+			for _, q := range sc.Queries {
+				ad.RegisterQuery(q)
+			}
+			auditors[s] = ad
 		}
+	}
+	auditorOf := func(id node.NodeID) *check.Auditor {
+		if auditors == nil {
+			return nil
+		}
+		if part == nil {
+			return auditors[0]
+		}
+		return auditors[part.Assign[id]]
 	}
 
 	params := protocol.Params{
@@ -583,32 +706,47 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 	}
 	nodes := make(map[node.NodeID]*node.Node, tree.Size())
 	for _, id := range tree.Members() {
-		n := node.New(eng, id, tree, ch, rcfg, macCfg)
+		ne := engOf(id)
+		n := node.New(ne, id, tree, chOf(id), rcfg, macCfg)
 		if sc.RecordSleepIntervals {
 			n.Radio.RecordSleepIntervals()
 		}
 		if tracer != nil {
 			n.SetTracer(tracer)
 		}
+		adt := auditorOf(id)
 		var s query.Sink
 		if id == root {
 			s = fan
-			if auditor != nil {
-				s = auditor.WrapSink(s)
+			if adt != nil {
+				s = adt.WrapSink(s)
 			}
 		}
-		if auditor != nil {
-			n.MAC.SetObserver(auditor)
-			auditor.WatchRadio(id, n.Radio, auditProfile)
+		if adt != nil {
+			n.MAC.SetObserver(adt)
+			adt.WatchRadio(id, n.Radio, auditProfile)
+		}
+		if mesh != nil {
+			// A cross-shard unicast's ACK pays the mesh latency twice
+			// (data out, ACK back); widen the sender's ACK timeout so
+			// boundary links don't read as loss.
+			my := part.Assign[id]
+			slack := 2 * mesh.Latency()
+			n.MAC.SetAckSlack(func(dst phy.NodeID) time.Duration {
+				if dst >= 0 && part.Assign[dst] != my {
+					return slack
+				}
+				return 0
+			})
 		}
 		if fan.WantsRadio() {
 			id := id
 			n.Radio.Subscribe(func(old, new radio.State) {
-				fan.RadioChanged(int(id), old, new, eng.Now())
+				fan.RadioChanged(int(id), old, new, ne.Now())
 			})
 		}
 		if err := builder.Build(&protocol.BuildContext{
-			Eng:      eng,
+			Eng:      ne,
 			Node:     n,
 			Tree:     tree,
 			Sink:     s,
@@ -626,10 +764,23 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 		if _, ok := nodes[id]; ok {
 			continue
 		}
-		r := radio.New(eng, rcfg)
-		darkMAC := mac.New(eng, ch, id, r, macCfg, discard{})
+		r := radio.New(engOf(id), rcfg)
+		darkMAC := mac.New(engOf(id), chOf(id), id, r, macCfg, discard{})
 		_ = darkMAC
 		r.TurnOff()
+	}
+
+	// The build-time member list split by shard (one list, in tree-member
+	// order, when sequential). Global workload events — setup slots,
+	// stops, battery polls, the warm-up snapshot — schedule per shard
+	// over these lists so every engine touches only its own nodes.
+	shardMembers := make([][]node.NodeID, K)
+	for _, id := range tree.Members() {
+		s := 0
+		if part != nil {
+			s = int(part.Assign[id])
+		}
+		shardMembers[s] = append(shardMembers[s], id)
 	}
 
 	for _, spec := range sc.Queries {
@@ -639,7 +790,11 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 			}
 		}
 		if sc.SetupSlot > 0 {
-			scheduleSetupSlot(eng, tree, nodes, spec, sc.SetupSlot)
+			for s, members := range shardMembers {
+				if len(members) > 0 {
+					scheduleSetupSlot(engines[s], members, nodes, spec, sc.SetupSlot)
+				}
+			}
 		}
 	}
 	// Stops sweep the build-time member list, not tree.Members() at stop
@@ -647,16 +802,21 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 	// — or one the dynamics layer crashed — must still forget the query,
 	// or it resumes reporting it after recovery. Only permanently dead
 	// nodes (channel-disabled) are skipped.
-	stopMembers := append([]node.NodeID(nil), tree.Members()...)
 	for _, stop := range sc.QueryStops {
 		stop := stop
-		eng.Schedule(stop.At, func() {
-			for _, id := range stopMembers {
-				if !ch.Disabled(id) {
-					nodes[id].Agent.Deregister(stop.Query)
-				}
+		for s, members := range shardMembers {
+			if len(members) == 0 {
+				continue
 			}
-		})
+			members := members
+			engines[s].Schedule(stop.At, func() {
+				for _, id := range members {
+					if !chOf(id).Disabled(id) {
+						nodes[id].Agent.Deregister(stop.Query)
+					}
+				}
+			})
+		}
 	}
 	if len(sc.PeerFlows) > 0 {
 		for _, id := range tree.Members() {
@@ -703,11 +863,11 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 			}
 		}
 	}
-	if auditor != nil {
+	if auditors != nil {
 		// Safe Sleep schedulers exist only after the protocol builders ran.
 		for _, id := range tree.Members() {
 			if ss := nodes[id].SS; ss != nil {
-				ss.SetObserver(id, auditor)
+				ss.SetObserver(id, auditorOf(id))
 			}
 		}
 	}
@@ -728,14 +888,15 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 			continue
 		}
 		v := victim
-		eng.Schedule(f.At, func() {
+		fch := chOf(v)
+		engOf(v).Schedule(f.At, func() {
 			// Guard on permanent disablement, not Killed(): a node the
 			// dynamics layer has temporarily crashed still reads as killed,
 			// but a configured failure must make its death permanent (the
 			// channel refuses to Resume a Disabled station).
-			if n, ok := nodes[v]; ok && !ch.Disabled(v) {
+			if n, ok := nodes[v]; ok && !fch.Disabled(v) {
 				n.Kill()
-				ch.Disable(v)
+				fch.Disable(v)
 			}
 		})
 	}
@@ -752,7 +913,7 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 			topo:    topo,
 			nodes:   nodes,
 			nodeIDs: append([]node.NodeID(nil), tree.Members()...),
-			auditor: auditor,
+			auditor: auditorOf(root),
 			crashed: make(map[node.NodeID]bool),
 		}
 		for i, d := range sc.Dynamics {
@@ -767,76 +928,149 @@ func build(sc Scenario, a *Arena) (*Sim, error) {
 	}
 
 	sm := &Sim{
-		Scenario: sc,
-		Eng:      eng,
-		Topo:     topo,
-		Tree:     tree,
-		Channel:  ch,
-		Nodes:    nodes,
-		sink:     sink,
-		fan:      fan,
-		tracer:   tracer,
-		auditor:  auditor,
-		profile:  prof.Power,
+		Scenario:  sc,
+		Eng:       eng,
+		Topo:      topo,
+		Tree:      tree,
+		Channel:   ch,
+		Nodes:     nodes,
+		engines:   engines,
+		chans:     chans,
+		mesh:      mesh,
+		part:      part,
+		lookahead: lookahead,
+		sink:      sink,
+		fan:       fan,
+		tracer:    tracer,
+		auditors:  auditors,
+		profile:   prof.Power,
 	}
 
 	// Battery exhaustion: poll each node's consumption once per simulated
-	// second and kill nodes that drained their budget.
+	// second and kill nodes that drained their budget. One poll loop per
+	// shard, each writing its own accounting slot; Collect merges.
 	if sc.BatteryJ > 0 {
 		prof := sm.profile
-		var check func()
-		check = func() {
-			for _, id := range tree.Members() {
-				n := nodes[id]
-				if id == root || n.Killed() {
-					continue
-				}
-				if n.Radio.Energy(prof) >= sc.BatteryJ {
-					if sm.firstDeath == 0 {
-						sm.firstDeath = eng.Now()
-					}
-					sm.batteryDeaths++
-					n.Kill()
-					ch.Disable(id)
-				}
+		sm.battery = make([]shardBattery, K)
+		for s := range engines {
+			members := shardMembers[s]
+			if len(members) == 0 {
+				continue
 			}
-			eng.After(time.Second, check)
+			b := &sm.battery[s]
+			e := engines[s]
+			var check func()
+			check = func() {
+				for _, id := range members {
+					n := nodes[id]
+					if id == root || n.Killed() {
+						continue
+					}
+					if n.Radio.Energy(prof) >= sc.BatteryJ {
+						if b.firstDeath == 0 {
+							b.firstDeath = e.Now()
+						}
+						b.deaths++
+						n.Kill()
+						chOf(id).Disable(id)
+					}
+				}
+				e.After(time.Second, check)
+			}
+			e.After(time.Second, check)
 		}
-		eng.After(time.Second, check)
 	}
 
 	// Snapshot radio accounting at MeasureFrom for warm-up exclusion.
-	sm.activeAt0 = make(map[node.NodeID]time.Duration, len(nodes))
-	sm.energyAt0 = make(map[node.NodeID]float64, len(nodes))
+	// NodeID-indexed slices: shards write disjoint entries concurrently.
+	sm.activeAt0 = make([]time.Duration, topo.NumNodes())
+	sm.energyAt0 = make([]float64, topo.NumNodes())
 	profile := sm.profile
-	eng.Schedule(sc.MeasureFrom, func() {
-		for id, n := range nodes {
-			sm.activeAt0[id] = n.Radio.ActiveTime()
-			sm.energyAt0[id] = n.Radio.Energy(profile)
+	for s := range engines {
+		members := shardMembers[s]
+		if len(members) == 0 {
+			continue
 		}
-	})
+		engines[s].Schedule(sc.MeasureFrom, func() {
+			for _, id := range members {
+				n := nodes[id]
+				sm.activeAt0[id] = n.Radio.ActiveTime()
+				sm.energyAt0[id] = n.Radio.Energy(profile)
+			}
+		})
+	}
 
 	return sm, nil
 }
 
 // Simulate drains the event queue up to the scenario's duration. It
-// must run exactly once, between Build and Collect.
+// must run exactly once, between Build and Collect. Parallel builds run
+// every shard's engine on its own goroutine inside conservative windows
+// of the cross-shard lookahead (sim.ShardRunner).
 func (s *Sim) Simulate() {
+	if len(s.engines) > 1 {
+		s.runner().Run(s.Scenario.Duration)
+		return
+	}
 	s.Eng.Run(s.Scenario.Duration)
+}
+
+// Shards reports how many engine shards this build executes on
+// (1 = the sequential path).
+func (s *Sim) Shards() int {
+	if len(s.engines) > 1 {
+		return len(s.engines)
+	}
+	return 1
+}
+
+// ShardLookahead reports the cross-shard lookahead of a parallel
+// build, zero for sequential ones.
+func (s *Sim) ShardLookahead() time.Duration {
+	if len(s.engines) > 1 {
+		return s.lookahead
+	}
+	return 0
+}
+
+// runner builds the conservative window runner for a parallel Sim.
+func (s *Sim) runner() *sim.ShardRunner {
+	return sim.NewShardRunner(s.engines, s.lookahead, s.mesh.Exchange)
+}
+
+// processed sums the executed-event counts over all shard engines.
+func (s *Sim) processed() uint64 {
+	var events uint64
+	for _, e := range s.engines {
+		events += e.Processed()
+	}
+	return events
 }
 
 // Collect aggregates the run's metrics into a Result. Call it after
 // Simulate.
 func (s *Sim) Collect() *Result {
-	res := collect(s.Scenario, s.Eng, s.Tree, s.Channel, s.Nodes, s.sink, s.fan, s.profile, s.activeAt0, s.energyAt0)
+	var chStats phy.Stats
+	for _, c := range s.chans {
+		chStats.Add(c.Stats())
+	}
+	res := collect(s.Scenario, s.processed(), chStats, s.Tree, s.Nodes, s.sink, s.fan, s.profile, s.activeAt0, s.energyAt0)
 	countRun(s.Scenario, res.Events)
-	res.FirstDeath = s.firstDeath
-	res.BatteryDeaths = s.batteryDeaths
+	for _, b := range s.battery {
+		if b.firstDeath > 0 && (res.FirstDeath == 0 || b.firstDeath < res.FirstDeath) {
+			res.FirstDeath = b.firstDeath
+		}
+		res.BatteryDeaths += b.deaths
+	}
 	if s.tracer != nil {
 		res.Trace = s.tracer.Events()
 	}
-	if s.auditor != nil {
-		res.Audit = s.auditor.Summary()
+	if s.auditors != nil {
+		parts := make([]*check.Summary, len(s.auditors))
+		for i, ad := range s.auditors {
+			parts[i] = ad.Summary()
+		}
+		res.Audit = check.Combine(parts)
 	}
 	return res
 }
@@ -925,13 +1159,13 @@ func (h *dynHost) RemoveQuery(id query.ID) {
 // query: all ESSAT nodes hold their radios on during
 // [phase−slot, phase], and the setup request floods down the tree on the
 // air (each member rebroadcasts once, jittered inside the slot).
-func scheduleSetupSlot(eng *sim.Engine, tree *routing.Tree, nodes map[node.NodeID]*node.Node, spec query.Spec, slot time.Duration) {
+func scheduleSetupSlot(eng *sim.Engine, members []node.NodeID, nodes map[node.NodeID]*node.Node, spec query.Spec, slot time.Duration) {
 	start := spec.Phase - slot
 	if start < 0 {
 		start = 0
 	}
 	eng.Schedule(start, func() {
-		for _, id := range tree.Members() {
+		for _, id := range members {
 			n := nodes[id]
 			if n.Killed() || n.SS == nil {
 				continue
@@ -940,7 +1174,7 @@ func scheduleSetupSlot(eng *sim.Engine, tree *routing.Tree, nodes map[node.NodeI
 		}
 		// In-band flood: every member rebroadcasts the request once at a
 		// random offset inside the first half of the slot.
-		for _, id := range tree.Members() {
+		for _, id := range members {
 			n := nodes[id]
 			if n.Killed() {
 				continue
@@ -953,6 +1187,29 @@ func scheduleSetupSlot(eng *sim.Engine, tree *routing.Tree, nodes map[node.NodeI
 			})
 		}
 	})
+}
+
+// cloneTransitPayload deep-copies the inner (above-MAC) payload of a
+// frame crossing shards. Reports are pooled (the sender recycles them
+// as soon as its own completion fires) and must be copied; commands and
+// peer messages are heap-shared across the sender's forwarding chain,
+// and copying them too keeps the no-cross-goroutine-aliasing rule
+// simple. All three are flat scalar structs, so a shallow copy is deep.
+// Everything else (JoinMsg, PhaseRequest, setupAnnounce, baseline
+// control markers) already travels by value.
+func cloneTransitPayload(p any) any {
+	switch v := p.(type) {
+	case *query.Report:
+		c := *v
+		return &c
+	case *core.Command:
+		c := *v
+		return &c
+	case *core.P2PMessage:
+		c := *v
+		return &c
+	}
+	return p
 }
 
 // discard is the upper layer for dark (non-member) nodes.
@@ -983,9 +1240,9 @@ func pickVictim(rng *rand.Rand, tree *routing.Tree) node.NodeID {
 	return routing.None
 }
 
-func collect(sc Scenario, eng *sim.Engine, tree *routing.Tree, ch *phy.Channel,
+func collect(sc Scenario, events uint64, chStats phy.Stats, tree *routing.Tree,
 	nodes map[node.NodeID]*node.Node, sink *stats.RootSink, fan *stats.Fanout, profile radio.PowerProfile,
-	activeAt0 map[node.NodeID]time.Duration, energyAt0 map[node.NodeID]float64) *Result {
+	activeAt0 []time.Duration, energyAt0 []float64) *Result {
 
 	res := &Result{
 		Protocol:       sc.Protocol,
@@ -994,8 +1251,8 @@ func collect(sc Scenario, eng *sim.Engine, tree *routing.Tree, ch *phy.Channel,
 		LatencyByClass: make(map[int]stats.DurationStats),
 		TreeSize:       tree.Size(),
 		MaxRank:        tree.MaxRank(),
-		Channel:        ch.Stats(),
-		Events:         eng.Processed(),
+		Channel:        chStats,
+		Events:         events,
 	}
 
 	window := float64(sc.Duration - sc.MeasureFrom)

@@ -165,6 +165,39 @@ func TestBadSpecs(t *testing.T) {
 	}
 }
 
+// TestParallelSpecs: a parallelism block runs through the server like
+// any other spec knob, and MaxShards rejects oversized requests before
+// any work happens.
+func TestParallelSpecs(t *testing.T) {
+	s := New(Config{Workers: 1, MaxShards: 4, Audit: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sharded := `{"protocol":"DTS-SS","nodes":30,"area":300,"duration":"1s",` +
+		`"workload":{"base_rate":1,"per_class":1},"parallelism":{"shards":2}}`
+	resp, body := postRun(t, ts, "/run", sharded)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded run status = %d, body %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatalf("bad response JSON: %v", err)
+	}
+	if rr.Events == 0 || rr.Audit == nil || rr.Audit.Violations != 0 {
+		t.Errorf("implausible sharded result: %+v", rr)
+	}
+
+	over := strings.Replace(sharded, `"shards":2`, `"shards":8`, 1)
+	resp, body = postRun(t, ts, "/run", over)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-shard status = %d, want 400 (body %s)", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Kind != "too_large" {
+		t.Errorf("over-shard error = %+v (err %v), want kind too_large", er, err)
+	}
+}
+
 func TestBudgetResponses(t *testing.T) {
 	s := New(Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())

@@ -1,0 +1,173 @@
+// Conservative sharded execution: several engines — one per spatial
+// shard, each owning a disjoint set of nodes — advance together through
+// synchronized safe windows. Within a window every engine runs on its
+// own goroutine; windows are sized to the cross-shard lookahead, the
+// minimum latency of any interaction between shards, so nothing an
+// engine does inside a window can affect another engine within the same
+// window. At each barrier a single-threaded exchange callback moves
+// cross-shard traffic (scheduling it onto the destination engines),
+// which keeps the whole run deterministic: shard-local execution is
+// sequential, and the exchange order is fixed by the caller regardless
+// of how the worker goroutines interleave.
+package sim
+
+import "time"
+
+// ShardRunner drives K engines through lookahead-synchronized windows.
+type ShardRunner struct {
+	engines []*Engine
+	// window is the conservative lookahead: any event executed in one
+	// shard can influence another shard no earlier than this far in the
+	// future. Every window runs at least this wide.
+	window time.Duration
+	// exchange is invoked single-threaded at every barrier with the
+	// barrier time; it must schedule all pending cross-shard work onto
+	// the destination engines, at instants no earlier than the barrier.
+	exchange func(now time.Duration)
+}
+
+// NewShardRunner wires a runner over the given engines. window must be
+// positive — it is the conservative lookahead bound; exchange may be nil
+// when the shards are fully decoupled.
+func NewShardRunner(engines []*Engine, window time.Duration, exchange func(now time.Duration)) *ShardRunner {
+	if window <= 0 {
+		panic("sim: shard window must be positive")
+	}
+	if len(engines) == 0 {
+		panic("sim: shard runner needs at least one engine")
+	}
+	return &ShardRunner{engines: engines, window: window, exchange: exchange}
+}
+
+// Run advances every engine to until. Equivalent to RunChecked with no
+// budget and no check.
+func (r *ShardRunner) Run(until time.Duration) uint64 {
+	n, _ := r.RunChecked(until, 0, nil)
+	return n
+}
+
+// Processed sums the events fired across all engines.
+func (r *ShardRunner) Processed() uint64 {
+	var n uint64
+	for _, e := range r.engines {
+		n += e.Processed()
+	}
+	return n
+}
+
+// shardJob is one worker's epoch instruction; zero target means exit.
+type shardJob struct {
+	target time.Duration
+}
+
+// RunChecked is Run with the engine's two interruption mechanisms,
+// enforced at window barriers: maxEvents bounds the total events fired
+// across all shards (granularity one window — the budget may overshoot
+// by up to one window's worth of events — returning ErrEventBudget),
+// and check is polled once per barrier. On early termination the
+// engines are left mid-run at the last barrier, a consistent global
+// state: every cross-shard message due by then has been delivered.
+func (r *ShardRunner) RunChecked(until time.Duration, maxEvents uint64, check func() error) (uint64, error) {
+	start := r.Processed()
+
+	// Persistent workers: one goroutine per engine, fed barrier targets
+	// over its own channel. Channel handoffs give the exchange callback
+	// happens-before edges with every engine in both directions.
+	work := make([]chan shardJob, len(r.engines))
+	done := make(chan int, len(r.engines))
+	for i := range r.engines {
+		work[i] = make(chan shardJob)
+		go func(i int) {
+			for job := range work[i] {
+				r.engines[i].Run(job.target)
+				done <- i
+			}
+		}(i)
+	}
+	defer func() {
+		for i := range work {
+			close(work[i])
+		}
+	}()
+
+	now := time.Duration(0)
+	var err error
+	for now < until {
+		if r.exchange != nil {
+			r.exchange(now)
+		}
+		if check != nil {
+			if err = check(); err != nil {
+				break
+			}
+		}
+		if maxEvents != 0 && r.Processed()-start >= maxEvents {
+			err = ErrEventBudget
+			break
+		}
+
+		// Window sizing: the conservative bound end = next + lookahead,
+		// where next is a lower bound on the earliest pending instant
+		// across all shards. Every event this window executes fires at
+		// t >= next, so its cross-shard effects land at t + lookahead >=
+		// end — at or after the barrier, never behind a destination
+		// clock. The bound scan is read-only (NextLowerBound): a peek
+		// past the window end would drag an engine's queue cursor beyond
+		// instants the next exchanges may still schedule, misfiling
+		// them. A stale (too-low) bound only shrinks the window; the
+		// bounded dispatch peeks below refine it for the next barrier.
+		// When every shard is idle nothing can generate traffic, and the
+		// run finishes in one hop.
+		next := time.Duration(-1)
+		for _, e := range r.engines {
+			if t, ok := e.NextLowerBound(); ok {
+				if next < 0 || t < next {
+					next = t
+				}
+			}
+		}
+		end := until
+		if next >= 0 {
+			if next < now {
+				// Bounds coarser than the barrier are stale: everything
+				// at or before the barrier has already run.
+				next = now
+			}
+			if w := next + r.window; w >= next && w < until { // overflow-safe
+				end = w
+			}
+		}
+
+		// Dispatch every engine with pending work in the window — the
+		// only peeks, bounded exactly by the barrier we advance to; idle
+		// engines' clocks are advanced at the end of the run instead.
+		dispatched := 0
+		for i, e := range r.engines {
+			if _, ok := e.PeekNext(end); ok {
+				work[i] <- shardJob{target: end}
+				dispatched++
+			}
+		}
+		for ; dispatched > 0; dispatched-- {
+			<-done
+		}
+		now = end
+	}
+
+	if err == nil && r.exchange != nil {
+		// Final barrier: cross-shard messages generated in the last
+		// window arrive after `until` and are dropped with it, exactly as
+		// a sequential run drops events scheduled past its horizon.
+		r.exchange(until)
+	}
+	// Leave every clock at the final barrier so time-integrated state
+	// (radio on-time, energy) reads consistently at collection.
+	final := until
+	if err != nil {
+		final = now
+	}
+	for _, e := range r.engines {
+		e.Run(final)
+	}
+	return r.Processed() - start, err
+}

@@ -1,0 +1,122 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Partition is a spatial decomposition of a deployment into K shards for
+// the parallel event loop: contiguous vertical bands of grid columns,
+// built with the same range-sized bucketing as the neighbor spatial
+// hash. Crossing a band edge therefore always spans at least one column
+// of width >= the candidate-neighbor radius, so a node's neighbors are
+// confined to its own shard and the two adjacent ones — the property the
+// conservative cross-shard latency relies on.
+//
+// Shards may be empty (K larger than the number of occupied columns);
+// the scheduler simply has nothing to run there.
+type Partition struct {
+	// K is the shard count.
+	K int
+	// Assign maps NodeID -> shard index, dense over the deployment.
+	Assign []int32
+	// Members lists each shard's nodes in ascending NodeID order.
+	Members [][]NodeID
+}
+
+// PartitionGrid cuts the deployment into k contiguous vertical bands of
+// spatial-hash columns, balancing node counts greedily. k must be in
+// [1, 64]; the 64 cap matches the per-transmission routing bitmask in
+// the channel mesh.
+func PartitionGrid(t *Topology, k int) (*Partition, error) {
+	if k < 1 || k > 64 {
+		return nil, fmt.Errorf("topology: shard count must be in [1,64], got %d", k)
+	}
+	n := t.NumNodes()
+	p := &Partition{
+		K:       k,
+		Assign:  make([]int32, n),
+		Members: make([][]NodeID, k),
+	}
+
+	// Column width: the candidate-neighbor radius, exactly the spatial
+	// hash's cell side, so adjacent-band locality holds by construction.
+	cell := t.NeighborRange()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		x := t.Position(NodeID(i)).X
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+	}
+	ncols := int((maxX-minX)/cell) + 1
+	colOf := func(id NodeID) int {
+		c := int((t.Position(id).X - minX) / cell)
+		if c >= ncols {
+			c = ncols - 1
+		}
+		return c
+	}
+	counts := make([]int, ncols)
+	for i := 0; i < n; i++ {
+		counts[colOf(NodeID(i))]++
+	}
+
+	// Greedy contiguous split: walk columns left to right, closing shard
+	// s once the running count reaches its cumulative target (s+1)·n/k.
+	// Columns are atomic, so a dense column can overshoot; later shards
+	// absorb the imbalance, and trailing shards may come out empty.
+	colShard := make([]int32, ncols)
+	shard, cum := 0, 0
+	for c := 0; c < ncols; c++ {
+		colShard[c] = int32(shard)
+		cum += counts[c]
+		for shard < k-1 && cum >= (shard+1)*n/k && cum > 0 {
+			shard++
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		s := colShard[colOf(NodeID(i))]
+		p.Assign[i] = s
+		p.Members[s] = append(p.Members[s], NodeID(i))
+	}
+	for s := range p.Members {
+		m := p.Members[s]
+		sort.Slice(m, func(a, b int) bool { return m[a] < m[b] })
+	}
+	return p, nil
+}
+
+// Shard returns the shard index of node id.
+func (p *Partition) Shard(id NodeID) int { return int(p.Assign[id]) }
+
+// BoundaryNodes returns, in ascending ID order, every node with at least
+// one candidate neighbor assigned to a different shard — the nodes whose
+// transmissions cross the mesh.
+func (p *Partition) BoundaryNodes(t *Topology) []NodeID {
+	var out []NodeID
+	for i := range p.Assign {
+		id := NodeID(i)
+		for _, nb := range t.Neighbors(id) {
+			if p.Assign[nb] != p.Assign[id] {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CrossEdges counts directed neighbor pairs that span shards, a
+// coupling measure for diagnostics and tests.
+func (p *Partition) CrossEdges(t *Topology) int {
+	total := 0
+	for i := range p.Assign {
+		for _, nb := range t.Neighbors(NodeID(i)) {
+			if p.Assign[nb] != p.Assign[i] {
+				total++
+			}
+		}
+	}
+	return total
+}
